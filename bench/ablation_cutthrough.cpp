@@ -1,0 +1,52 @@
+// Ablation C: cut-through vs store-and-forward at the adapter as a
+// function of link propagation delay (Sections 5-6: the tree "helps
+// reduce latency ... when propagation delays are non-negligible", while
+// cut-through's advantage shrinks once worms must be buffered anyway).
+//
+// One multicast on an idle network: latency by scheme for propagation
+// delays from machine-room (5 bt) to campus/backbone (1000 bt) scale.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "net/topologies.h"
+
+using namespace wormcast;
+
+namespace {
+
+double one_shot_latency(Scheme scheme, Time delay) {
+  MulticastGroupSpec group;
+  group.id = 0;
+  group.members = {0, 2, 4, 5, 7, 8, 10, 13};
+  ExperimentConfig cfg;
+  cfg.protocol.scheme = scheme;
+  Network net(make_torus(4, 4, 1, delay, kDefaultLinkDelay), {group}, cfg);
+  Demand d;
+  d.src = 4;
+  d.multicast = true;
+  d.group = 0;
+  d.length = 1024;
+  net.inject(d);
+  net.run_to_quiescence();
+  return net.metrics().mcast_completion().mean();
+}
+
+}  // namespace
+
+int main(int, char**) {
+  std::printf("# Ablation C: multicast completion latency (byte-times) vs "
+              "link propagation delay; 8-member group, 1 KB, idle 4x4 torus\n");
+  bench::print_header("prop_delay", {"hamiltonian_sf", "hamiltonian_ct",
+                                     "tree_sf", "tree_broadcast"});
+  for (const Time delay : {5L, 50L, 200L, 500L, 1000L}) {
+    std::printf("%lld,%.0f,%.0f,%.0f,%.0f\n", static_cast<long long>(delay),
+                one_shot_latency(Scheme::kHamiltonianSF, delay),
+                one_shot_latency(Scheme::kHamiltonianCT, delay),
+                one_shot_latency(Scheme::kTreeSF, delay),
+                one_shot_latency(Scheme::kTreeBroadcast, delay));
+    std::fflush(stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,113 @@
+// Ablation A: what the two-buffer-class rule buys (Figures 6 and 7).
+//
+// The paper's closing section reports "work in progress" on measuring
+// buffer contention and the probability of deadlocks. A saturated steady
+// state cannot distinguish deadlock from backlog, so this bench uses a
+// burst design: every member of every group injects one multicast at t=0,
+// then the network drains with *no further arrivals*. With the class rule
+// (and low-to-high ID propagation) reservation waits are acyclic, so the
+// burst always drains completely. With the rule disabled, reservations can
+// cycle (two adapters holding full pools NACK each other forever,
+// Figure 6): those runs end with messages that never complete no matter
+// how long the drain — a permanent livelock. We report, per configuration:
+// runs that wedged, messages still undelivered at the horizon, and the
+// NACK/retry churn spent.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "net/topologies.h"
+#include "sim/random.h"
+#include "traffic/groups.h"
+
+using namespace wormcast;
+
+namespace {
+
+struct Outcome {
+  int wedged_runs = 0;
+  std::int64_t undelivered = 0;
+  std::int64_t nacks = 0;
+  double mean_drain_time = 0.0;  // over runs that completed
+  int completed_runs = 0;
+};
+
+Outcome run_cases(bool classes, int burst_per_member, int seeds, Time horizon) {
+  Outcome out;
+  for (int seed = 1; seed <= seeds; ++seed) {
+    RandomStream grng(7000 + seed);
+    auto groups = make_random_groups(6, 8, 16, grng);
+    ExperimentConfig cfg;
+    cfg.protocol.scheme = Scheme::kHamiltonianSF;
+    cfg.protocol.buffer_classes = classes;
+    // Two max-size worms of memory in both configurations; the ablation
+    // removes only the class discipline, not capacity.
+    cfg.protocol.pool_bytes = 1800;
+    cfg.protocol.retry_backoff = 1500;
+    cfg.protocol.retry_jitter = 1000;
+    cfg.traffic.offered_load = 1e-9;  // burst only
+    cfg.seed = static_cast<std::uint64_t>(seed);
+    Network net(make_torus(4, 4), groups, cfg);
+
+    RandomStream lens(200 + static_cast<std::uint64_t>(seed));
+    for (const auto& g : groups) {
+      for (const HostId m : g.members) {
+        for (int i = 0; i < burst_per_member; ++i) {
+          const Time when = 1 + lens.uniform(0, 500);
+          const auto len = lens.geometric_length(400.0, 16);
+          net.sim().at(when, [&net, m, g = g.id, len] {
+            Demand d;
+            d.src = m;
+            d.multicast = true;
+            d.group = g;
+            d.length = std::min<std::int64_t>(len, 850);
+            net.inject(d);
+          });
+        }
+      }
+    }
+    net.run_until(horizon);
+    const auto s = net.summary();
+    if (s.outstanding > 0) {
+      ++out.wedged_runs;
+      out.undelivered += s.outstanding;
+    } else {
+      ++out.completed_runs;
+      out.mean_drain_time +=
+          static_cast<double>(net.metrics().last_completion_time());
+    }
+    out.nacks += s.nacks;
+  }
+  if (out.completed_runs > 0) out.mean_drain_time /= out.completed_runs;
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+  const int seeds = quick ? 2 : 5;
+  const Time horizon = quick ? 1'500'000 : 2'500'000;
+  std::printf("# Ablation A: burst drain with the two-buffer-class rule "
+              "on/off (equal memory; 6 groups x 8 members on 16 hosts; "
+              "%d seeds)\n",
+              seeds);
+  bench::print_header("burst_per_member",
+                      {"on_wedged_runs", "on_undelivered", "on_nacks",
+                       "on_drain_bt", "off_wedged_runs", "off_undelivered",
+                       "off_nacks", "off_drain_bt"});
+  const std::vector<int> bursts =
+      quick ? std::vector<int>{2} : std::vector<int>{1, 2, 4};
+  for (const int burst : bursts) {
+    const Outcome on = run_cases(true, burst, seeds, horizon);
+    const Outcome off = run_cases(false, burst, seeds, horizon);
+    std::printf("%d,%d,%lld,%lld,%.0f,%d,%lld,%lld,%.0f\n", burst,
+                on.wedged_runs, static_cast<long long>(on.undelivered),
+                static_cast<long long>(on.nacks), on.mean_drain_time,
+                off.wedged_runs, static_cast<long long>(off.undelivered),
+                static_cast<long long>(off.nacks), off.mean_drain_time);
+    std::fflush(stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Ablation D: switch-level vs host-adapter multicasting.
+//
+// Section 3 argues switch-level replication gives the lowest latency (no
+// per-member store-and-forward) at the price of switch complexity and
+// tree-restricted routing; Section 9 singles out broadcast as the case
+// worth the complexity. This bench compares, on an idle 8x8 torus:
+//   - one multicast to an 8-member group under every host-adapter scheme
+//     and under fabric replication (scheme (a)); and
+//   - one full broadcast (63 destinations) via repeated unicast, the tree
+//     schemes, and the root-flood fabric broadcast.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "net/topologies.h"
+#include "traffic/groups.h"
+
+using namespace wormcast;
+
+namespace {
+
+constexpr std::int64_t kPayload = 1024;
+
+double host_scheme_latency(Scheme scheme, const MulticastGroupSpec& group,
+                           HostId src) {
+  ExperimentConfig cfg;
+  cfg.protocol.scheme = scheme;
+  cfg.routing.tree_links_only = true;  // same routing budget for fairness
+  Network net(make_torus(8, 8), {group}, cfg);
+  Demand d;
+  d.src = src;
+  d.multicast = true;
+  d.group = group.id;
+  d.length = kPayload;
+  net.inject(d);
+  net.run_to_quiescence();
+  return net.metrics().mcast_completion().mean();
+}
+
+double fabric_mcast_latency(const MulticastGroupSpec& group, HostId src) {
+  ExperimentConfig cfg;
+  cfg.routing.tree_links_only = true;
+  Network net(make_torus(8, 8), {group}, cfg);
+  net.send_switch_multicast(src, group.id, kPayload);
+  net.run_to_quiescence();
+  return net.metrics().mcast_completion().mean();
+}
+
+double fabric_broadcast_latency(HostId src) {
+  ExperimentConfig cfg;
+  cfg.routing.tree_links_only = true;
+  Network net(make_torus(8, 8), {}, cfg);
+  net.send_switch_broadcast(src, kPayload);
+  net.run_to_quiescence();
+  return net.metrics().mcast_completion().mean();
+}
+
+}  // namespace
+
+int main(int, char**) {
+  std::printf("# Ablation D: switch-level (fabric) vs host-adapter "
+              "multicast; completion latency (byte-times), 1 KB, idle 8x8 "
+              "torus\n");
+
+  MulticastGroupSpec group;
+  group.id = 0;
+  group.members = {3, 9, 17, 22, 30, 41, 50, 61};
+  const HostId src = 17;
+
+  std::printf("\nmulticast to 8 members\n");
+  std::printf("scheme,completion_latency\n");
+  for (const Scheme s :
+       {Scheme::kRepeatedUnicast, Scheme::kHamiltonianSF,
+        Scheme::kHamiltonianCT, Scheme::kTreeSF, Scheme::kTreeBroadcast}) {
+    std::printf("%s,%.0f\n", scheme_name(s), host_scheme_latency(s, group, src));
+  }
+  std::printf("switch-fabric-tree,%.0f\n", fabric_mcast_latency(group, src));
+
+  std::printf("\nbroadcast to all 64 hosts\n");
+  std::printf("scheme,completion_latency\n");
+  MulticastGroupSpec everyone = make_full_group(64);
+  for (const Scheme s : {Scheme::kRepeatedUnicast, Scheme::kTreeSF,
+                         Scheme::kTreeBroadcast}) {
+    std::printf("%s,%.0f\n", scheme_name(s),
+                host_scheme_latency(s, everyone, src));
+  }
+  std::printf("switch-fabric-flood,%.0f\n", fabric_broadcast_latency(src));
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Ablation B: the cost of routing restrictions.
+//
+// Scheme (a) of Section 3 requires *every* worm to stay on the up/down
+// spanning tree, giving up the crosslinks. The paper warns the available
+// bandwidth is "much reduced". This bench measures unicast saturation:
+// delivered throughput and latency with full up/down routing vs
+// spanning-tree-only routing on an 8x8 torus.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "net/topologies.h"
+
+using namespace wormcast;
+
+namespace {
+
+struct Point {
+  double throughput = 0.0;  // delivered payload B/bt/host
+  double latency = 0.0;
+};
+
+Point run_case(bool tree_only, double load, Time warmup, Time measure) {
+  ExperimentConfig cfg;
+  cfg.protocol.scheme = Scheme::kHamiltonianSF;
+  cfg.traffic.offered_load = load;
+  cfg.traffic.multicast_fraction = 0.0;  // pure unicast
+  cfg.routing.tree_links_only = tree_only;
+  Network net(make_torus(8, 8), {}, cfg);
+  net.run(warmup, measure, /*drain_cap=*/0);
+  const auto s = net.summary();
+  return Point{s.throughput_per_host, s.unicast_latency_mean};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+  const Time warmup = quick ? 10'000 : 30'000;
+  const Time measure = quick ? 50'000 : 150'000;
+  std::printf("# Ablation B: full up/down routing vs spanning-tree-only "
+              "(scheme (a)'s restriction), unicast on 8x8 torus\n");
+  bench::print_header("offered_load", {"updown_thr", "updown_lat",
+                                       "tree_only_thr", "tree_only_lat"});
+  const std::vector<double> loads =
+      quick ? std::vector<double>{0.05, 0.15}
+            : std::vector<double>{0.02, 0.05, 0.08, 0.11, 0.14, 0.17, 0.20};
+  for (const double load : loads) {
+    const Point full = run_case(false, load, warmup, measure);
+    const Point tree = run_case(true, load, warmup, measure);
+    std::printf("%.2f,%.4f,%.0f,%.4f,%.0f\n", load, full.throughput,
+                full.latency, tree.throughput, tree.latency);
+    std::fflush(stdout);
+  }
+  return 0;
+}

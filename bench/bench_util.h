@@ -1,0 +1,40 @@
+// Shared helpers for the figure-regeneration benches.
+//
+// Each bench binary regenerates one figure of the paper: it sweeps the
+// figure's x-axis, runs the simulator at each point, and prints the same
+// series the paper plots as CSV rows (plus a human-readable header).
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "core/network.h"
+
+namespace wormcast::bench {
+
+/// Prints a CSV header line: x_name,series1,series2,...
+inline void print_header(const std::string& x_name,
+                         const std::vector<std::string>& series) {
+  std::printf("%s", x_name.c_str());
+  for (const auto& s : series) std::printf(",%s", s.c_str());
+  std::printf("\n");
+}
+
+/// Common experiment defaults shared by the simulation figures
+/// (Section 7.1): geometric worm lengths with mean 400 bytes.
+inline ExperimentConfig sim_defaults(Scheme scheme, double load,
+                                     double mcast_fraction,
+                                     std::uint64_t seed) {
+  ExperimentConfig cfg;
+  cfg.protocol.scheme = scheme;
+  cfg.traffic.offered_load = load;
+  cfg.traffic.multicast_fraction = mcast_fraction;
+  cfg.traffic.mean_worm_len = 400.0;
+  // Ample forwarding buffers: the paper's simulations study latency, not
+  // loss; reservations virtually always succeed (NACKs stay possible).
+  cfg.protocol.pool_bytes = 128 * 1024;
+  cfg.seed = seed;
+  return cfg;
+}
+
+}  // namespace wormcast::bench

@@ -1,0 +1,75 @@
+// Figure 11: average delay vs offered load for varying multicast
+// proportions on a 24-node bidirectional shufflenet.
+//
+// Paper setup (Section 7.1): (p=2, k=3) bidirectional shufflenet, 24
+// switches with one host each; 4 multicast groups of 6 members; link
+// propagation delay 1000 byte-times (an optical-backbone setting); mean
+// worm 400 bytes; multicast proportion in {0.05, 0.10, 0.15, 0.20};
+// offered load (generation rate per host) 0.03 - 0.07.
+//
+// Expected shape (paper): the tree sits below the Hamiltonian circuit for
+// every proportion; delay grows with the multicast proportion (each
+// multicast is re-transmitted several times, so the actual throughput
+// rises with the proportion); both schemes carry the same total traffic.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "net/topologies.h"
+#include "sim/random.h"
+#include "traffic/groups.h"
+
+using namespace wormcast;
+
+namespace {
+
+constexpr Time kPropDelay = 1000;  // byte-times per link (Section 7.1)
+
+double run_point(Scheme scheme, double load, double proportion,
+                 std::uint64_t seed, Time warmup, Time measure) {
+  RandomStream group_rng(1100 + seed);
+  auto groups = make_random_groups(4, 6, 24, group_rng);
+  ExperimentConfig cfg = bench::sim_defaults(scheme, load, proportion, seed);
+  // The 1000 byte-time propagation delay applies to the backbone links;
+  // hosts sit next to their switch (default short attachment).
+  Network net(make_bidir_shufflenet(2, 3, kPropDelay, kDefaultLinkDelay),
+              std::move(groups), cfg);
+  net.run(warmup, measure, /*drain_cap=*/200'000);
+  return net.summary().mcast_latency_mean;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+  const Time warmup = quick ? 30'000 : 80'000;
+  const Time measure = quick ? 80'000 : 300'000;
+
+  std::printf("# Figure 11: average multicast delay (byte-times) vs offered "
+              "load, 24-node bidirectional shufflenet\n");
+  std::printf("# 4 groups x 6 members, propagation delay 1000 byte-times, "
+              "mean worm 400 B\n");
+  bench::print_header("offered_load",
+                      {"prop0.05_tree", "prop0.05_hc", "prop0.10_tree",
+                       "prop0.10_hc", "prop0.15_tree", "prop0.15_hc",
+                       "prop0.20_tree", "prop0.20_hc"});
+  const std::vector<double> loads =
+      quick ? std::vector<double>{0.03, 0.05, 0.065}
+            : std::vector<double>{0.030, 0.035, 0.040, 0.045, 0.050,
+                                  0.055, 0.060, 0.065, 0.070};
+  const std::vector<double> props{0.05, 0.10, 0.15, 0.20};
+  for (const double load : loads) {
+    std::printf("%.3f", load);
+    for (const double p : props) {
+      const double tree =
+          run_point(Scheme::kTreeBroadcast, load, p, 1, warmup, measure);
+      const double hc =
+          run_point(Scheme::kHamiltonianSF, load, p, 1, warmup, measure);
+      std::printf(",%.0f,%.0f", tree, hc);
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

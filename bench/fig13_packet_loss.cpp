@@ -1,0 +1,39 @@
+// Figure 13: packet loss rate per host vs packet size on the Section 8.2
+// testbed, all-send/receive case.
+//
+// Loss occurs only at the adapter input buffer (the implementation has no
+// reservation protocol and cannot backpressure the fabric without risking
+// deadlock — the point the paper uses to motivate its schemes). Expected
+// shape: significant loss whenever hosts originate as well as forward,
+// growing with packet size (fewer packets fit in the ~25 KB LANai buffer);
+// the single-sender case loses nothing.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "myrinet_testbed.h"
+
+using namespace wormcast;
+
+int main(int argc, char** argv) {
+  const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+  const Time span = quick ? 3'000'000 : 12'000'000;
+
+  std::printf("# Figure 13: packet loss per host vs packet size, all hosts "
+              "sending+receiving (single-sender shown as control)\n");
+  bench::print_header("packet_bytes",
+                      {"loss_all_send_receive", "loss_single_sender"});
+  const std::vector<std::int64_t> sizes =
+      quick ? std::vector<std::int64_t>{1024, 4096, 8192}
+            : std::vector<std::int64_t>{1024, 2048, 3072, 4096, 5120,
+                                        6144, 7168, 8192};
+  for (const std::int64_t size : sizes) {
+    const auto all = bench::run_testbed(8, size, span);
+    const auto single = bench::run_testbed(1, size, span);
+    std::printf("%lld,%.3f,%.3f\n", static_cast<long long>(size),
+                all.loss_rate, single.loss_rate);
+    std::fflush(stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Google-benchmark microbenchmarks of the simulator's hot paths: event
+// queue operations, byte-level channel throughput, up/down route
+// computation, and multicast route encoding. Useful when tuning the
+// engine; not part of the paper reproduction.
+#include <benchmark/benchmark.h>
+
+#include "core/network.h"
+#include "net/mcast_route_builder.h"
+#include "net/topologies.h"
+#include "sim/event_queue.h"
+#include "sim/random.h"
+
+namespace wormcast {
+namespace {
+
+void BM_EventQueueScheduleDispatch(benchmark::State& state) {
+  for (auto _ : state) {
+    EventQueue q;
+    int fired = 0;
+    for (int i = 0; i < 1024; ++i)
+      q.schedule(i % 97, [&fired] { ++fired; });
+    while (!q.empty()) q.pop().action();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_EventQueueScheduleDispatch);
+
+void BM_EventQueueCancelHeavy(benchmark::State& state) {
+  for (auto _ : state) {
+    EventQueue q;
+    std::vector<EventHandle> handles;
+    handles.reserve(1024);
+    for (int i = 0; i < 1024; ++i) handles.push_back(q.schedule(i, [] {}));
+    for (std::size_t i = 0; i < handles.size(); i += 2) q.cancel(handles[i]);
+    while (!q.empty()) q.pop().action();
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_EventQueueCancelHeavy);
+
+void BM_UpDownRouteComputation(benchmark::State& state) {
+  const Topology topo = make_torus(8, 8);
+  const UpDownRouting routing(topo);
+  HostId src = 0;
+  HostId dst = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(routing.route(src, dst));
+    dst = static_cast<HostId>((dst + 7) % 64);
+    if (dst == src) dst = static_cast<HostId>((dst + 1) % 64);
+    src = static_cast<HostId>((src + 13) % 64);
+    if (dst == src) src = static_cast<HostId>((src + 1) % 64);
+  }
+}
+BENCHMARK(BM_UpDownRouteComputation);
+
+void BM_McastRouteEncodeSplit(benchmark::State& state) {
+  const Topology topo = make_torus(8, 8);
+  UpDownOptions opts;
+  opts.tree_links_only = true;
+  const UpDownRouting routing(topo, opts);
+  std::vector<HostId> dests;
+  for (HostId h = 1; h < 64; h += 4) dests.push_back(h);
+  const auto branches = build_mcast_branches(topo, routing, 0, dests);
+  for (auto _ : state) {
+    const auto enc = EncodedMcastRoute::encode(branches);
+    benchmark::DoNotOptimize(enc.split());
+  }
+}
+BENCHMARK(BM_McastRouteEncodeSplit);
+
+void BM_SimulatedByteThroughput(benchmark::State& state) {
+  // End-to-end cost of simulating one payload byte across the full stack.
+  for (auto _ : state) {
+    state.PauseTiming();
+    ExperimentConfig cfg;
+    cfg.protocol.scheme = Scheme::kHamiltonianSF;
+    Network net(make_line(3), {}, cfg);
+    Demand d;
+    d.src = 0;
+    d.dst = 2;
+    d.length = 16 * 1024;
+    state.ResumeTiming();
+    net.inject(d);
+    net.run_to_quiescence();
+    benchmark::DoNotOptimize(net.metrics().messages_completed());
+  }
+  state.SetBytesProcessed(state.iterations() * 16 * 1024);
+}
+BENCHMARK(BM_SimulatedByteThroughput)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace wormcast
+
+BENCHMARK_MAIN();

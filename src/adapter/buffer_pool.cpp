@@ -1,0 +1,44 @@
+#include "adapter/buffer_pool.h"
+
+namespace wormcast {
+
+BufferPool::BufferPool(std::int64_t total_bytes, int n_classes) {
+  if (n_classes < 1) throw std::invalid_argument("need >= 1 buffer class");
+  if (total_bytes < n_classes)
+    throw std::invalid_argument("pool too small for class count");
+  const std::int64_t per = total_bytes / n_classes;
+  capacity_.assign(static_cast<std::size_t>(n_classes), per);
+  used_.assign(static_cast<std::size_t>(n_classes), 0);
+}
+
+BufferPool::BufferPool(std::int64_t total_bytes) : shared_(true) {
+  capacity_.assign(1, total_bytes);
+  used_.assign(1, 0);
+}
+
+BufferPool BufferPool::unpartitioned(std::int64_t total_bytes) {
+  return BufferPool(total_bytes);
+}
+
+bool BufferPool::try_reserve(int cls, std::int64_t bytes) {
+  const std::size_t i = index(cls);
+  if (bytes < 0) throw std::invalid_argument("negative reservation");
+  if (used_[i] + bytes > capacity_[i]) return false;
+  used_[i] += bytes;
+  return true;
+}
+
+void BufferPool::release(int cls, std::int64_t bytes) {
+  const std::size_t i = index(cls);
+  if (bytes < 0 || bytes > used_[i])
+    throw std::logic_error("buffer release does not match reservations");
+  used_[i] -= bytes;
+}
+
+std::int64_t BufferPool::total_used() const {
+  std::int64_t total = 0;
+  for (const std::int64_t u : used_) total += u;
+  return total;
+}
+
+}  // namespace wormcast

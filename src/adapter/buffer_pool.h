@@ -1,0 +1,55 @@
+// Host-adapter multicast buffer pool with deadlock-prevention classes.
+//
+// Section 4 of the paper: each adapter's forwarding memory (LANai SRAM,
+// optionally extended into a host DMA buffer as in [VLB96]) is divided into
+// two classes. A multicast worm reserves class 0 space while it propagates
+// from lower to higher host IDs and class 1 space after the single ID-order
+// reversal (Hamiltonian wrap-around; tree descent after the climb to the
+// root). Requests then always point to a higher host ID or a higher buffer
+// class, so reservation waits cannot form a cycle (Figure 7).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace wormcast {
+
+class BufferPool {
+ public:
+  /// Strictly partitions `total_bytes` across `n_classes` classes.
+  BufferPool(std::int64_t total_bytes, int n_classes);
+
+  /// Unpartitioned pool (reservation classes disabled — the ablation
+  /// configuration); every class maps onto one shared region.
+  static BufferPool unpartitioned(std::int64_t total_bytes);
+
+  [[nodiscard]] int n_classes() const { return static_cast<int>(capacity_.size()); }
+  [[nodiscard]] std::int64_t capacity(int cls) const { return capacity_[index(cls)]; }
+  [[nodiscard]] std::int64_t used(int cls) const { return used_[index(cls)]; }
+  [[nodiscard]] std::int64_t free_in(int cls) const {
+    return capacity_[index(cls)] - used_[index(cls)];
+  }
+
+  /// Reserves `bytes` in `cls`; false (and no change) if it does not fit.
+  [[nodiscard]] bool try_reserve(int cls, std::int64_t bytes);
+  void release(int cls, std::int64_t bytes);
+
+  [[nodiscard]] std::int64_t total_used() const;
+
+ private:
+  explicit BufferPool(std::int64_t total_bytes);  // unpartitioned
+
+  [[nodiscard]] std::size_t index(int cls) const {
+    if (shared_) return 0;
+    if (cls < 0 || cls >= n_classes())
+      throw std::out_of_range("buffer class out of range");
+    return static_cast<std::size_t>(cls);
+  }
+
+  bool shared_ = false;
+  std::vector<std::int64_t> capacity_;
+  std::vector<std::int64_t> used_;
+};
+
+}  // namespace wormcast

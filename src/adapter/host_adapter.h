@@ -1,0 +1,163 @@
+// The host network-interface model (Myrinet's LANai card, Section 2).
+//
+// Mechanism only: a transmit engine with a worm queue (control worms take
+// priority), a receive engine that always drains the link at line rate
+// (the adapter never backpressures the fabric — matching both the paper's
+// simulator and the Myrinet implementation), and per-worm processing
+// overheads. *Policy* — what to do with a received worm, reservations,
+// ACK/NACK, retransmission — lives in an AdapterClient implemented by the
+// multicast protocols in src/core.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+
+#include "net/channel.h"
+#include "net/fabric.h"
+#include "net/worm.h"
+#include "sim/simulator.h"
+#include "sim/types.h"
+
+namespace wormcast {
+
+/// Reception progress of the worm currently arriving; shared with transmit
+/// plans that cut through (forward while receiving).
+struct RxProgress {
+  std::int64_t payload_total = 0;
+  std::int64_t payload_received = 0;
+  bool complete = false;
+  bool dropped = false;
+};
+
+enum class RxDecision : std::uint8_t { kAccept, kDrop };
+
+/// Protocol hooks; implemented by the schemes in src/core.
+class AdapterClient {
+ public:
+  virtual ~AdapterClient() = default;
+
+  /// Head of a worm arrived. Decide whether to accept it (reserving any
+  /// buffers the protocol needs) or to drop it (the paper's implicit
+  /// reservation refuses worms that do not fit; Figure 5). `rx` can be held
+  /// to start a cut-through forward.
+  virtual RxDecision on_rx_head(const WormPtr& worm,
+                                const std::shared_ptr<RxProgress>& rx) = 0;
+
+  /// An accepted worm has been fully received. `payload_bytes` is the
+  /// actual payload delivered: worm->payload for ordinary worms, the
+  /// measured byte count for switch-level multicast fragments (whose
+  /// declared length is advisory).
+  virtual void on_rx_complete(const WormPtr& worm,
+                              std::int64_t payload_bytes) = 0;
+
+  /// A queued worm has completely left the adapter (tail on the wire).
+  virtual void on_tx_done(const WormPtr& worm) = 0;
+};
+
+struct AdapterConfig {
+  /// Per-worm processing overhead (route lookup, header build, DMA setup)
+  /// inserted before each transmission. The Myrinet-testbed benches
+  /// calibrate this to SPARCstation-5-era LANai/driver costs.
+  Time tx_overhead = 16;
+  /// Processing between full reception and earliest possible retransmission
+  /// (store-and-forward path only; cut-through bypasses it).
+  Time rx_overhead = 8;
+};
+
+/// One host's network interface card.
+class HostAdapter final : public ByteFeed, public RxSink {
+ public:
+  HostAdapter(Simulator& sim, Fabric& fabric, HostId host,
+              AdapterConfig config = AdapterConfig());
+  HostAdapter(const HostAdapter&) = delete;
+  HostAdapter& operator=(const HostAdapter&) = delete;
+
+  void set_client(AdapterClient* client) { client_ = client; }
+
+  [[nodiscard]] HostId host() const { return host_; }
+  [[nodiscard]] Simulator& sim() { return sim_; }
+  [[nodiscard]] const AdapterConfig& config() const { return config_; }
+
+  /// Queues a fully buffered worm for transmission (store-and-forward).
+  void send(WormPtr worm);
+  /// Queues a worm whose payload streams from an in-progress reception
+  /// (cut-through): transmission proceeds as bytes arrive.
+  void send_cut_through(WormPtr worm, std::shared_ptr<RxProgress> follow);
+  /// Queues a control worm (ACK/NACK) ahead of data worms.
+  void send_control(WormPtr worm);
+
+  [[nodiscard]] std::size_t tx_queue_depth() const {
+    return tx_queue_.size() + control_queue_.size();
+  }
+  /// Data worms queued or transmitting that this host *originated* (as
+  /// opposed to copies it forwards for others). Saturating applications use
+  /// this to model "send the next packet as soon as the previous own packet
+  /// left the card".
+  [[nodiscard]] std::size_t queued_own_originations() const;
+  [[nodiscard]] bool tx_idle() const {
+    return !tx_active_ && tx_queue_.empty() && control_queue_.empty();
+  }
+
+  // Counters. "Worms" are data worms; ACK/NACK arrivals are counted
+  // separately as control traffic.
+  [[nodiscard]] std::int64_t worms_sent() const { return worms_sent_; }
+  [[nodiscard]] std::int64_t worms_received() const { return worms_received_; }
+  [[nodiscard]] std::int64_t worms_dropped() const { return worms_dropped_; }
+  [[nodiscard]] std::int64_t control_received() const { return control_received_; }
+  [[nodiscard]] std::int64_t payload_bytes_received() const {
+    return payload_bytes_received_;
+  }
+
+  // ByteFeed (transmit side; called by the host's uplink channel).
+  [[nodiscard]] bool byte_available() const override;
+  TxByte take_byte() override;
+  void on_tail_sent() override;
+
+  // RxSink (receive side; called by the host's downlink channel).
+  void on_head(const WormPtr& worm, std::int64_t wire_len) override;
+  void on_body(bool tail) override;
+
+ private:
+  struct TxPlan {
+    WormPtr worm;
+    std::shared_ptr<RxProgress> follow;  // cut-through source, or null
+    std::int64_t wire_len = 0;
+    std::int64_t sent = 0;
+  };
+
+  void enqueue(TxPlan plan, bool priority);
+  void start_next();
+  [[nodiscard]] bool done_is_switch_mcast() const;
+  [[nodiscard]] const TxPlan* active_plan() const;
+  [[nodiscard]] std::int64_t sendable_bytes(const TxPlan& plan) const;
+
+  Simulator& sim_;
+  Channel& tx_channel_;
+  HostId host_;
+  AdapterConfig config_;
+  AdapterClient* client_ = nullptr;
+
+  // Transmit state.
+  std::deque<TxPlan> control_queue_;
+  std::deque<TxPlan> tx_queue_;
+  bool tx_active_ = false;   // a plan is attached to the channel
+  bool tx_gap_ = false;      // waiting out the per-worm overhead
+  TxPlan current_;
+
+  // Receive state.
+  WormPtr rx_worm_;
+  std::shared_ptr<RxProgress> rx_progress_;
+  std::int64_t rx_wire_len_ = 0;
+  std::int64_t rx_received_ = 0;
+  bool rx_accepted_ = false;
+
+  // Counters.
+  std::int64_t worms_sent_ = 0;
+  std::int64_t worms_received_ = 0;
+  std::int64_t worms_dropped_ = 0;
+  std::int64_t control_received_ = 0;
+  std::int64_t payload_bytes_received_ = 0;
+};
+
+}  // namespace wormcast

@@ -1,0 +1,125 @@
+#include "core/group_tables.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace wormcast {
+
+CircuitTable::CircuitTable(std::vector<HostId> members)
+    : order_(std::move(members)) {
+  if (order_.empty()) throw std::invalid_argument("empty multicast group");
+  std::sort(order_.begin(), order_.end());
+  if (std::adjacent_find(order_.begin(), order_.end()) != order_.end())
+    throw std::invalid_argument("duplicate member in multicast group");
+}
+
+bool CircuitTable::contains(HostId h) const {
+  return std::binary_search(order_.begin(), order_.end(), h);
+}
+
+HostId CircuitTable::next(HostId h) const {
+  const auto it = std::lower_bound(order_.begin(), order_.end(), h);
+  if (it == order_.end() || *it != h)
+    throw std::invalid_argument("host not in group");
+  const auto next_it = it + 1;
+  return next_it == order_.end() ? order_.front() : *next_it;
+}
+
+int CircuitTable::circuit_hop_length(const UpDownRouting& routing) const {
+  if (order_.size() < 2) return 0;
+  int total = 0;
+  for (std::size_t i = 0; i < order_.size(); ++i) {
+    const HostId from = order_[i];
+    const HostId to = order_[(i + 1) % order_.size()];
+    total += routing.hop_count(from, to);
+  }
+  return total;
+}
+
+TreeTable::TreeTable(std::vector<HostId> members, const UpDownRouting& routing,
+                     int max_fanout)
+    : members_(std::move(members)) {
+  if (members_.empty()) throw std::invalid_argument("empty multicast group");
+  std::sort(members_.begin(), members_.end());
+  if (std::adjacent_find(members_.begin(), members_.end()) != members_.end())
+    throw std::invalid_argument("duplicate member in multicast group");
+  root_ = members_.front();
+  parent_[root_] = kNoHost;
+  children_[root_] = {};
+  for (std::size_t i = 1; i < members_.size(); ++i) {
+    const HostId m = members_[i];
+    HostId best = kNoHost;
+    int best_cost = 0;
+    for (std::size_t j = 0; j < i; ++j) {
+      const HostId candidate = members_[j];
+      if (max_fanout > 0 &&
+          static_cast<int>(children_[candidate].size()) >= max_fanout)
+        continue;
+      const int cost = routing.hop_count(candidate, m);
+      if (best == kNoHost || cost < best_cost) {
+        best = candidate;
+        best_cost = cost;
+      }
+    }
+    if (best == kNoHost)
+      throw std::logic_error("tree fanout cap leaves no eligible parent");
+    parent_[m] = best;
+    children_[best].push_back(m);
+    children_[m] = {};
+  }
+  // Children naturally accumulate in ascending ID order (insertion order).
+}
+
+bool TreeTable::contains(HostId h) const {
+  return std::binary_search(members_.begin(), members_.end(), h);
+}
+
+HostId TreeTable::parent(HostId h) const {
+  const auto it = parent_.find(h);
+  if (it == parent_.end()) throw std::invalid_argument("host not in group");
+  return it->second;
+}
+
+const std::vector<HostId>& TreeTable::children(HostId h) const {
+  const auto it = children_.find(h);
+  if (it == children_.end()) throw std::invalid_argument("host not in group");
+  return it->second;
+}
+
+int TreeTable::depth() const {
+  int max_depth = 0;
+  for (const HostId m : members_) {
+    int d = 0;
+    for (HostId n = m; n != root_; n = parent_.at(n)) ++d;
+    max_depth = std::max(max_depth, d);
+  }
+  return max_depth;
+}
+
+GroupTables::GroupTables(const std::vector<MulticastGroupSpec>& specs,
+                         const UpDownRouting& routing, int max_tree_fanout) {
+  for (const MulticastGroupSpec& spec : specs) {
+    circuits_.emplace(spec.id, CircuitTable(spec.members));
+    trees_.emplace(spec.id, TreeTable(spec.members, routing, max_tree_fanout));
+  }
+}
+
+const CircuitTable& GroupTables::circuit(GroupId g) const {
+  const auto it = circuits_.find(g);
+  if (it == circuits_.end()) throw std::invalid_argument("unknown group");
+  return it->second;
+}
+
+const TreeTable& GroupTables::tree(GroupId g) const {
+  const auto it = trees_.find(g);
+  if (it == trees_.end()) throw std::invalid_argument("unknown group");
+  return it->second;
+}
+
+bool GroupTables::is_member(GroupId g, HostId h) const {
+  return circuit(g).contains(h);
+}
+
+int GroupTables::group_size(GroupId g) const { return circuit(g).size(); }
+
+}  // namespace wormcast

@@ -1,0 +1,87 @@
+// Per-group multicast structures (Sections 5 and 6).
+//
+// Hamiltonian circuit: members ordered by increasing host ID; the multicast
+// propagates low-to-high with a single wrap-around (the one ID-order
+// reversal the two-buffer-class rule allows).
+//
+// Rooted tree: the root is the lowest-ID member and every child has a
+// higher ID than its parent. We build the cheapest such tree greedily:
+// members are inserted in increasing ID order and each attaches to the
+// already-inserted member with the smallest unicast hop count (ties to the
+// lowest ID; fanout capped), so the parent always carries a lower ID.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "net/updown.h"
+#include "sim/types.h"
+#include "traffic/groups.h"
+
+namespace wormcast {
+
+/// Hamiltonian circuit over one group's members.
+class CircuitTable {
+ public:
+  CircuitTable() = default;
+  explicit CircuitTable(std::vector<HostId> members);  // any order; sorted
+
+  [[nodiscard]] const std::vector<HostId>& order() const { return order_; }
+  [[nodiscard]] int size() const { return static_cast<int>(order_.size()); }
+  [[nodiscard]] HostId lowest() const { return order_.front(); }
+  [[nodiscard]] HostId highest() const { return order_.back(); }
+  [[nodiscard]] bool contains(HostId h) const;
+  /// Successor on the circuit (wraps highest -> lowest).
+  [[nodiscard]] HostId next(HostId h) const;
+  /// Total unicast hop count around the circuit (Figure 8's cost metric).
+  [[nodiscard]] int circuit_hop_length(const UpDownRouting& routing) const;
+
+ private:
+  std::vector<HostId> order_;  // ascending IDs
+};
+
+/// Rooted multicast tree over one group's members (Figure 9).
+class TreeTable {
+ public:
+  TreeTable() = default;
+  /// Builds the ID-ordered greedy tree. `max_fanout` caps children per
+  /// node (0 = unlimited).
+  TreeTable(std::vector<HostId> members, const UpDownRouting& routing,
+            int max_fanout = 0);
+
+  [[nodiscard]] HostId root() const { return root_; }
+  [[nodiscard]] int size() const { return static_cast<int>(members_.size()); }
+  [[nodiscard]] const std::vector<HostId>& members() const { return members_; }
+  [[nodiscard]] bool contains(HostId h) const;
+  /// kNoHost for the root.
+  [[nodiscard]] HostId parent(HostId h) const;
+  /// Ascending-ID children list.
+  [[nodiscard]] const std::vector<HostId>& children(HostId h) const;
+  /// Depth of the tree (root = 0).
+  [[nodiscard]] int depth() const;
+
+ private:
+  HostId root_ = kNoHost;
+  std::vector<HostId> members_;  // ascending
+  std::unordered_map<HostId, HostId> parent_;
+  std::unordered_map<HostId, std::vector<HostId>> children_;
+};
+
+/// All groups' circuits and trees, built once per experiment.
+class GroupTables {
+ public:
+  GroupTables(const std::vector<MulticastGroupSpec>& specs,
+              const UpDownRouting& routing, int max_tree_fanout = 0);
+
+  [[nodiscard]] const CircuitTable& circuit(GroupId g) const;
+  [[nodiscard]] const TreeTable& tree(GroupId g) const;
+  [[nodiscard]] bool is_member(GroupId g, HostId h) const;
+  [[nodiscard]] int group_size(GroupId g) const;
+
+ private:
+  std::unordered_map<GroupId, CircuitTable> circuits_;
+  std::unordered_map<GroupId, TreeTable> trees_;
+};
+
+}  // namespace wormcast

@@ -1,0 +1,753 @@
+#include "core/host_protocol.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace wormcast {
+
+namespace {
+/// ACK/NACK and transmit-completion bookkeeping is keyed by
+/// (message, successor).
+std::uint64_t send_key(std::uint64_t message_id, HostId to) {
+  return message_id * 1000003ULL + static_cast<std::uint64_t>(to);
+}
+}  // namespace
+
+bool HostProtocol::is_confirmation(const McastHeader& h) const {
+  // A circuit worm that returned to its originator with no hop budget left
+  // is the delivery confirmation (Section 5). On a serialized circuit or a
+  // tree the originator's own copy can arrive mid-structure and must still
+  // be forwarded.
+  return scheme_uses_circuit(config_.scheme) && h.origin == host_ &&
+         !h.relay_phase && h.hops_remaining <= 1;
+}
+
+HostProtocol::HostProtocol(Simulator& sim, HostAdapter& adapter,
+                           const UpDownRouting& routing,
+                           const GroupTables& tables, Metrics& metrics,
+                           const ProtocolConfig& config, RandomStream rng,
+                           int n_hosts)
+    : sim_(sim),
+      adapter_(adapter),
+      routing_(routing),
+      tables_(tables),
+      metrics_(metrics),
+      config_(config),
+      rng_(std::move(rng)),
+      host_(adapter.host()),
+      pool_(config.buffer_classes ? BufferPool(config.pool_bytes, 2)
+                                  : BufferPool::unpartitioned(config.pool_bytes)),
+      n_hosts_(n_hosts) {
+  adapter_.set_client(this);
+  if (config_.scheme == Scheme::kCentralizedCredit &&
+      host_ == config_.credit_manager) {
+    credit_mgr_ = std::make_unique<CreditManager>();
+    credit_mgr_->credits.assign(static_cast<std::size_t>(n_hosts_),
+                                config_.credits_per_host);
+  }
+}
+
+// --- origination -------------------------------------------------------------
+
+void HostProtocol::originate(const Demand& demand) {
+  if (demand.multicast)
+    originate_multicast(demand);
+  else
+    originate_unicast(demand);
+}
+
+void HostProtocol::on_unicast_flushed(const WormPtr& worm) {
+  const Time backoff =
+      config_.retry_backoff +
+      (config_.retry_jitter > 0 ? rng_.uniform(0, config_.retry_jitter) : 0);
+  sim_.after(backoff, [this, worm] {
+    metrics_.on_retransmit();
+    auto copy = std::make_shared<Worm>();
+    copy->id = worm->id;
+    copy->kind = WormKind::kData;
+    copy->src = host_;
+    copy->dst = worm->dst;
+    copy->payload = worm->payload;
+    copy->header = worm->header;
+    copy->route = routing_.route(host_, worm->dst);
+    copy->mcast = worm->mcast;
+    copy->message = worm->message;
+    copy->created_at = worm->created_at;
+    adapter_.send(std::move(copy));
+  });
+}
+
+void HostProtocol::originate_unicast(const Demand& d) {
+  auto ctx = metrics_.create_message(host_, kNoGroup, d.length, 1, sim_.now());
+  auto worm = std::make_shared<Worm>();
+  worm->kind = WormKind::kData;
+  worm->src = host_;
+  worm->dst = d.dst;
+  worm->payload = d.length;
+  worm->route = routing_.route(host_, d.dst);
+  worm->message = ctx;
+  worm->created_at = ctx->created_at;
+  worm->id = ctx->message_id;
+  adapter_.send(std::move(worm));
+}
+
+void HostProtocol::originate_multicast(const Demand& d) {
+  const CircuitTable& circuit = tables_.circuit(d.group);
+  assert(circuit.contains(host_) && "multicast from non-member");
+  const int members = circuit.size();
+  const int dests = members - 1;
+  auto ctx =
+      metrics_.create_message(host_, d.group, d.length, dests, sim_.now());
+  if (dests == 0) return;
+
+  if (config_.scheme == Scheme::kRepeatedUnicast) {
+    // Myrinet's stock behaviour: one plain unicast per member, back to back
+    // out of the source adapter.
+    for (const HostId m : circuit.order()) {
+      if (m == host_) continue;
+      auto worm = std::make_shared<Worm>();
+      worm->kind = WormKind::kData;
+      worm->src = host_;
+      worm->dst = m;
+      worm->payload = d.length;
+      worm->route = routing_.route(host_, m);
+      worm->message = ctx;
+      worm->created_at = ctx->created_at;
+      worm->id = ctx->message_id;
+      adapter_.send(std::move(worm));
+    }
+    return;
+  }
+
+  auto task = std::make_shared<Task>();
+  task->ctx = ctx;
+  task->group = d.group;
+  task->message_id = ctx->message_id;
+  task->origin = host_;
+  task->payload = d.length;
+  task->rx_complete = true;  // the originator holds the payload in host memory
+  task->delivered = true;    // the originator is not a destination
+  task->originator = true;
+  origin_tasks_.emplace(task->message_id, task);
+
+  if (config_.scheme == Scheme::kCentralizedCredit) {
+    // [VLB96]: obtain a cumulative buffer credit for every destination from
+    // the manager before transmitting anything.
+    if (host_ == config_.credit_manager) {
+      credit_mgr_->pending.push_back(
+          CreditManager::Pending{ctx->message_id, d.group, host_});
+      try_credit_grants();
+    } else {
+      adapter_.send_control(make_credit_worm(CreditOp::kRequest,
+                                             config_.credit_manager, d.group,
+                                             ctx->message_id, -1));
+    }
+    return;
+  }
+
+  begin_serialized_dispatch(task);
+}
+
+void HostProtocol::begin_serialized_dispatch(const TaskPtr& task) {
+  const bool serialized =
+      scheme_uses_tree(config_.scheme)
+          ? config_.scheme != Scheme::kTreeBroadcast
+          : config_.total_ordering;
+  const HostId serializer = scheme_uses_tree(config_.scheme)
+                                ? tables_.tree(task->group).root()
+                                : tables_.circuit(task->group).lowest();
+
+  if (serialized && host_ != serializer) {
+    // Relay to the serializer; the multicast proper starts there.
+    Task::Send relay;
+    relay.to = serializer;
+    relay.header.group = task->group;
+    relay.header.message_id = task->message_id;
+    relay.header.origin = host_;
+    relay.header.seq = task->seq;
+    relay.header.relay_phase = true;
+    relay.header.buffer_class = 1;  // the one "reversal" class (Section 4)
+    task->sends.push_back(relay);
+    metrics_.on_relay();
+    issue_send(task, task->sends.front(), /*cut_through=*/false);
+    return;
+  }
+
+  if (serialized && task->seq < 0) {
+    task->seq = seq_counters_[task->group]++;
+  }
+  task->sends = plan_successors(task->group, host_, task->message_id,
+                                task->seq,
+                                /*hops_remaining=*/0, /*incoming_class=*/0,
+                                /*at_serializer=*/serialized, kNoHost);
+  launch_sends(task, /*allow_cut_through=*/false);
+  maybe_release(task);
+}
+
+// --- successor planning ------------------------------------------------------
+
+std::vector<HostProtocol::Task::Send> HostProtocol::plan_successors(
+    GroupId group, HostId origin, std::uint64_t message_id, std::int64_t seq,
+    int hops_remaining, int incoming_class, bool at_serializer,
+    HostId from) const {
+  std::vector<Task::Send> sends;
+  const auto base_header = [&](HostId to) {
+    McastHeader h;
+    h.group = group;
+    h.message_id = message_id;
+    h.origin = origin;
+    h.seq = seq;
+    (void)to;
+    return h;
+  };
+
+  if (scheme_uses_circuit(config_.scheme)) {
+    const CircuitTable& circuit = tables_.circuit(group);
+    const int members = circuit.size();
+    int hops;
+    if (from == kNoHost) {
+      // Start of the circuit (originator or serializer).
+      if (at_serializer) {
+        hops = members - 1;
+        // Skip the final hop when it would only return the message to its
+        // originator (who already has the payload).
+        if (origin == circuit.highest() && origin != host_) --hops;
+      } else {
+        hops = members - 1 + (config_.circuit_confirm ? 1 : 0);
+      }
+    } else {
+      hops = hops_remaining - 1;
+    }
+    if (hops >= 1) {
+      const HostId to = circuit.next(host_);
+      Task::Send s;
+      s.to = to;
+      s.header = base_header(to);
+      s.header.hops_remaining = hops;
+      // Class 0 while host IDs ascend; class 1 from the wrap-around on
+      // (the single ID-order reversal, Figure 7).
+      s.header.buffer_class = (to > host_) ? incoming_class : 1;
+      sends.push_back(s);
+    }
+    return sends;
+  }
+
+  // Tree schemes.
+  const TreeTable& tree = tables_.tree(group);
+  const auto add_child = [&](HostId child, int cls) {
+    // A leaf child that is the message's originator needs no copy.
+    if (child == origin && tree.children(child).empty()) return;
+    Task::Send s;
+    s.to = child;
+    s.header = base_header(child);
+    s.header.buffer_class = cls;
+    sends.push_back(s);
+  };
+
+  if (config_.scheme == Scheme::kTreeBroadcast) {
+    // Flood away from `from`: climb copies use class 0, descents class 1
+    // (one class while climbing, the other while descending; Section 6).
+    const bool arrived_from_child = (from != kNoHost && from > host_);
+    const bool at_origin = (from == kNoHost);
+    if ((at_origin || arrived_from_child) && host_ != tree.root()) {
+      Task::Send s;
+      s.to = tree.parent(host_);
+      s.header = base_header(s.to);
+      s.header.buffer_class = 0;
+      sends.push_back(s);
+    }
+    const bool descending = (from != kNoHost && from < host_);
+    for (const HostId child : tree.children(host_)) {
+      if (child == from) continue;
+      if (descending || at_origin || arrived_from_child) add_child(child, 1);
+    }
+    return sends;
+  }
+
+  // Root-serialized tree: pure descent, single class.
+  for (const HostId child : tree.children(host_)) add_child(child, 0);
+  return sends;
+}
+
+// --- sending machinery -------------------------------------------------------
+
+WormPtr HostProtocol::make_data_worm(const TaskPtr& task,
+                                     const Task::Send& send) const {
+  auto worm = std::make_shared<Worm>();
+  worm->kind = WormKind::kData;
+  worm->src = host_;
+  worm->dst = send.to;
+  worm->payload = task->payload;
+  worm->header = config_.mcast_header_bytes;
+  worm->route = routing_.route(host_, send.to);
+  worm->mcast = send.header;
+  worm->message = task->ctx;
+  worm->created_at = task->ctx->created_at;
+  worm->id = task->message_id;
+  return worm;
+}
+
+WormPtr HostProtocol::make_control_worm(WormKind kind,
+                                        const WormPtr& data_worm) const {
+  auto worm = std::make_shared<Worm>();
+  worm->kind = kind;
+  worm->src = host_;
+  worm->dst = data_worm->src;
+  worm->payload = config_.control_payload;
+  worm->header = config_.mcast_header_bytes;
+  worm->route = routing_.route(host_, data_worm->src);
+  worm->mcast = data_worm->mcast;
+  worm->message = data_worm->message;
+  worm->id = data_worm->id;
+  return worm;
+}
+
+void HostProtocol::launch_sends(const TaskPtr& task, bool allow_cut_through) {
+  for (std::size_t i = 0; i < task->sends.size(); ++i) {
+    Task::Send& send = task->sends[i];
+    if (send.started) continue;
+    const bool ct = allow_cut_through && scheme_cut_through(config_.scheme) &&
+                    !task->rx_complete;
+    // Strict total ordering also constrains the retransmission path: at most
+    // one un-ACKed send per (group, successor) so a NACKed message cannot be
+    // overtaken. Costs pipelining, so only when the application asked.
+    const bool ordered = config_.total_ordering && serialized_scheme() &&
+                         !send.header.relay_phase;
+    if (ordered)
+      window_push(task, i, ct);
+    else
+      issue_send(task, send, ct);
+    if (ct) break;  // cut-through starts the first successor only
+  }
+}
+
+void HostProtocol::issue_send(const TaskPtr& task, Task::Send& send,
+                              bool cut_through) {
+  assert(!send.started);
+  send.started = true;
+  WormPtr worm = make_data_worm(task, send);
+  ack_wait_.emplace(send_key(task->message_id, send.to), task);
+  if (cut_through && task->rx != nullptr && !task->rx->complete)
+    adapter_.send_cut_through(std::move(worm), task->rx);
+  else
+    adapter_.send(std::move(worm));
+}
+
+void HostProtocol::retransmit_later(const TaskPtr& task,
+                                    std::size_t send_index) {
+  // Exponential back-off (capped) keeps NACK storms from starving each
+  // other under extreme contention; the jitter breaks retry lockstep.
+  const int attempts = std::min(task->sends[send_index].attempts++, 4);
+  const Time backoff =
+      config_.retry_backoff * (Time{1} << attempts) +
+      (config_.retry_jitter > 0 ? rng_.uniform(0, config_.retry_jitter) : 0);
+  sim_.after(backoff, [this, task, send_index] {
+    metrics_.on_retransmit();
+    Task::Send& send = task->sends[send_index];
+    assert(send.started && !send.acked);
+    WormPtr worm = make_data_worm(task, send);
+    // The retransmission streams from the (possibly still arriving)
+    // reception; when reception has finished this is a plain buffered send.
+    if (task->rx != nullptr && !task->rx->complete)
+      adapter_.send_cut_through(std::move(worm), task->rx);
+    else
+      adapter_.send(std::move(worm));
+  });
+}
+
+void HostProtocol::maybe_release(const TaskPtr& task) {
+  if (!task->delivered || !task->rx_complete) return;
+  for (const Task::Send& s : task->sends)
+    if (!s.started || !s.acked) return;
+  if (task->reserved > 0) {
+    pool_.release(task->cls, task->reserved);
+    task->reserved = 0;
+    // Credit scheme: the freed slot rides home on the next token visit.
+    if (config_.scheme == Scheme::kCentralizedCredit) ++freed_credits_;
+  }
+  (task->originator ? origin_tasks_ : tasks_).erase(task->message_id);
+}
+
+// --- reception ---------------------------------------------------------------
+
+RxDecision HostProtocol::on_rx_head(const WormPtr& worm,
+                                    const std::shared_ptr<RxProgress>& rx) {
+  if (worm->kind == WormKind::kAck || worm->kind == WormKind::kNack)
+    return RxDecision::kAccept;
+  if (!worm->mcast.has_value()) return RxDecision::kAccept;  // plain unicast
+  if (worm->mcast->credit != CreditOp::kNone)
+    return RxDecision::kAccept;  // credit control traffic
+
+  const McastHeader& h = *worm->mcast;
+  if (is_confirmation(h)) {
+    // Circuit-confirmation copy returning to its originator; terminates
+    // here, no forwarding buffer needed.
+    if (config_.reservation)
+      adapter_.send_control(make_control_worm(WormKind::kAck, worm));
+    return RxDecision::kAccept;
+  }
+
+  const int cls = config_.buffer_classes ? h.buffer_class : 0;
+  const std::int64_t reserve_bytes =
+      std::max(worm->payload, config_.input_slot_bytes);
+  if (!pool_.try_reserve(cls, reserve_bytes)) {
+    if (config_.reservation) {
+      metrics_.on_nack();
+      adapter_.send_control(make_control_worm(WormKind::kNack, worm));
+    } else {
+      metrics_.on_mcast_drop();
+    }
+    return RxDecision::kDrop;
+  }
+
+  auto task = std::make_shared<Task>();
+  task->ctx = worm->message;
+  task->group = h.group;
+  task->message_id = h.message_id;
+  task->origin = h.origin;
+  task->payload = worm->payload;
+  task->seq = h.seq;
+  task->hops_remaining = h.hops_remaining;
+  task->rx = rx;
+  task->cls = cls;
+  task->reserved = reserve_bytes;
+  assert(tasks_.find(task->message_id) == tasks_.end() &&
+         "duplicate task for message at this adapter");
+  tasks_.emplace(task->message_id, task);
+
+  if (config_.reservation)
+    adapter_.send_control(make_control_worm(WormKind::kAck, worm));
+
+  if (!h.relay_phase) {
+    task->sends = plan_successors(h.group, h.origin, h.message_id, h.seq,
+                                  h.hops_remaining, h.buffer_class,
+                                  /*at_serializer=*/false, worm->src);
+    // Cut-through: start forwarding to the first successor immediately,
+    // while the worm is still arriving (Sections 5-6).
+    if (scheme_cut_through(config_.scheme) && config_.reservation)
+      launch_sends(task, /*allow_cut_through=*/true);
+  }
+  return RxDecision::kAccept;
+}
+
+void HostProtocol::on_rx_complete(const WormPtr& worm,
+                                  std::int64_t payload_bytes) {
+  switch (worm->kind) {
+    case WormKind::kAck:
+      handle_ack(worm);
+      return;
+    case WormKind::kNack:
+      handle_nack(worm);
+      return;
+    case WormKind::kSwitchMcast: {
+      // Fabric-replicated delivery: reassemble fragments per message and
+      // deliver once the full payload has arrived. The source's own flood
+      // copy (broadcast reaches every host) is not a delivery.
+      const auto& ctx = worm->message;
+      if (worm->src == host_) return;
+      std::int64_t& got = switch_mcast_rx_[ctx->message_id];
+      got += payload_bytes;
+      assert(got <= ctx->payload && "switch mcast over-delivery");
+      if (got == ctx->payload) {
+        switch_mcast_rx_.erase(ctx->message_id);
+        metrics_.on_delivered(ctx, host_, sim_.now());
+        if (ctx->group != kNoGroup)
+          metrics_.record_order(host_, ctx->group, ctx->message_id);
+      }
+      return;
+    }
+    case WormKind::kData:
+      break;
+  }
+  if (!worm->mcast.has_value()) {
+    // Plain unicast delivery (includes the repeated-unicast baseline).
+    metrics_.on_delivered(worm->message, host_, sim_.now());
+    if (worm->message->group != kNoGroup)
+      metrics_.record_order(host_, worm->message->group, worm->message->message_id);
+    return;
+  }
+  handle_mcast_data(worm);
+}
+
+void HostProtocol::handle_mcast_data(const WormPtr& worm) {
+  if (worm->mcast->credit != CreditOp::kNone) {
+    handle_credit_op(worm);
+    return;
+  }
+  const McastHeader& h = *worm->mcast;
+  if (is_confirmation(h)) {
+    metrics_.on_confirmation(worm->message, sim_.now());
+    return;
+  }
+  const auto it = tasks_.find(h.message_id);
+  assert(it != tasks_.end() && "mcast completion without task");
+  TaskPtr task = it->second;
+  task->rx_complete = true;
+
+  if (h.relay_phase) {
+    // We are the serializer: stamp the sequence number and start the
+    // multicast proper.
+    start_serialized(task);
+    return;
+  }
+
+  deliver_locally(task);
+  launch_sends(task, /*allow_cut_through=*/false);
+  maybe_release(task);
+}
+
+void HostProtocol::start_serialized(const TaskPtr& task) {
+  // Credit-scheme messages already carry the manager's sequence number.
+  if (task->seq < 0) task->seq = seq_counters_[task->group]++;
+  deliver_locally(task);
+  auto sends = plan_successors(task->group, task->origin, task->message_id,
+                               task->seq, /*hops_remaining=*/0,
+                               /*incoming_class=*/0,
+                               /*at_serializer=*/true, kNoHost);
+  // Keep the already-finished relay bookkeeping (none: the relay send lives
+  // at the origin, not here) and install the circuit/tree successors.
+  task->sends = std::move(sends);
+  launch_sends(task, /*allow_cut_through=*/false);
+  maybe_release(task);
+}
+
+void HostProtocol::deliver_locally(const TaskPtr& task) {
+  if (task->delivered) return;
+  task->delivered = true;
+  if (task->origin == host_) return;  // own payload came back around
+  metrics_.on_delivered(task->ctx, host_, sim_.now());
+  metrics_.record_order(host_, task->group, task->message_id);
+}
+
+void HostProtocol::handle_ack(const WormPtr& worm) {
+  const std::uint64_t key = send_key(worm->mcast->message_id, worm->src);
+  const auto it = ack_wait_.find(key);
+  assert(it != ack_wait_.end() && "ACK without outstanding send");
+  TaskPtr task = it->second;
+  ack_wait_.erase(it);
+  for (Task::Send& s : task->sends) {
+    if (s.to == worm->src && s.started && !s.acked) {
+      s.acked = true;
+      break;
+    }
+  }
+  if (config_.total_ordering && serialized_scheme())
+    window_advance(task->group, worm->src);
+  maybe_release(task);
+}
+
+void HostProtocol::handle_nack(const WormPtr& worm) {
+  const std::uint64_t key = send_key(worm->mcast->message_id, worm->src);
+  const auto it = ack_wait_.find(key);
+  assert(it != ack_wait_.end() && "NACK without outstanding send");
+  TaskPtr task = it->second;
+  for (std::size_t i = 0; i < task->sends.size(); ++i) {
+    Task::Send& s = task->sends[i];
+    if (s.to == worm->src && s.started && !s.acked) {
+      retransmit_later(task, i);
+      return;
+    }
+  }
+  assert(false && "NACK did not match a pending send");
+}
+
+void HostProtocol::on_tx_done(const WormPtr& worm) {
+  if (config_.reservation) return;
+  if (worm->kind != WormKind::kData || !worm->mcast.has_value()) return;
+  // Reservation-less mode (the Section 8 Myrinet implementation): the
+  // forwarding buffer is freed as soon as the copy has left the adapter —
+  // there is no acknowledgement.
+  const std::uint64_t key = send_key(worm->mcast->message_id, worm->dst);
+  const auto it = ack_wait_.find(key);
+  if (it == ack_wait_.end()) return;
+  TaskPtr task = it->second;
+  ack_wait_.erase(it);
+  for (Task::Send& s : task->sends) {
+    if (s.to == worm->dst && s.started && !s.acked) {
+      s.acked = true;
+      break;
+    }
+  }
+  maybe_release(task);
+}
+
+// --- [VLB96] centralized credit scheme ---------------------------------------
+
+WormPtr HostProtocol::make_credit_worm(CreditOp op, HostId dst, GroupId group,
+                                       std::uint64_t message_id,
+                                       std::int64_t seq) const {
+  auto worm = std::make_shared<Worm>();
+  worm->kind = WormKind::kData;
+  worm->src = host_;
+  worm->dst = dst;
+  worm->payload = config_.control_payload;
+  worm->header = config_.mcast_header_bytes;
+  worm->route = routing_.route(host_, dst);
+  McastHeader h;
+  h.group = group;
+  h.message_id = message_id;
+  h.origin = host_;
+  h.seq = seq;
+  h.credit = op;
+  worm->mcast = h;
+  worm->id = message_id;
+  return worm;
+}
+
+void HostProtocol::handle_credit_op(const WormPtr& worm) {
+  const McastHeader& h = *worm->mcast;
+  switch (h.credit) {
+    case CreditOp::kRequest: {
+      assert(credit_mgr_ != nullptr && "credit request at a non-manager host");
+      credit_mgr_->pending.push_back(
+          CreditManager::Pending{h.message_id, h.group, h.origin});
+      try_credit_grants();
+      return;
+    }
+    case CreditOp::kGrant: {
+      const auto it = origin_tasks_.find(h.message_id);
+      assert(it != origin_tasks_.end() && "grant for unknown message");
+      apply_grant(it->second, h.seq);
+      return;
+    }
+    case CreditOp::kToken: {
+      if (host_ == config_.credit_manager) {
+        // The token came home: bank the collected credits (including the
+        // manager's own freed slots) and regrant.
+        assert(credit_mgr_ != nullptr);
+        for (std::size_t i = 0; i < credit_mgr_->credits.size(); ++i)
+          credit_mgr_->credits[i] += (*worm->token_counts)[i];
+        credit_mgr_->credits[host_] += freed_credits_;
+        freed_credits_ = 0;
+        token_active_ = false;
+        try_credit_grants();
+      } else {
+        forward_token(worm);
+      }
+      return;
+    }
+    case CreditOp::kNone:
+      break;
+  }
+  assert(false && "unhandled credit operation");
+}
+
+void HostProtocol::apply_grant(const TaskPtr& task, std::int64_t seq) {
+  task->seq = seq;
+  begin_serialized_dispatch(task);
+}
+
+std::vector<HostId> HostProtocol::credit_slots_needed(GroupId group,
+                                                      HostId origin) const {
+  // One worm slot at every host that will hold the message for forwarding
+  // or delivery: the root buffers the relay (when the origin is not the
+  // root); every other member buffers its tree copy — except the origin
+  // itself when it is a leaf (its copy is skipped entirely).
+  const TreeTable& tree = tables_.tree(group);
+  std::vector<HostId> hosts;
+  for (const HostId m : tree.members()) {
+    if (m == tree.root()) {
+      if (origin != tree.root()) hosts.push_back(m);
+      continue;
+    }
+    if (m == origin && tree.children(m).empty()) continue;
+    hosts.push_back(m);
+  }
+  return hosts;
+}
+
+void HostProtocol::try_credit_grants() {
+  assert(credit_mgr_ != nullptr);
+  while (!credit_mgr_->pending.empty()) {
+    const CreditManager::Pending& req = credit_mgr_->pending.front();
+    const std::vector<HostId> slots =
+        credit_slots_needed(req.group, req.origin);
+    bool enough = true;
+    for (const HostId m : slots) {
+      if (credit_mgr_->credits[m] < 1) {
+        enough = false;
+        break;
+      }
+    }
+    // Grants are sequenced, so requests are served strictly FIFO.
+    if (!enough) break;
+    for (const HostId m : slots) --credit_mgr_->credits[m];
+    const std::int64_t seq = seq_counters_[req.group]++;
+    if (req.origin == host_) {
+      const auto it = origin_tasks_.find(req.message_id);
+      assert(it != origin_tasks_.end());
+      apply_grant(it->second, seq);
+    } else {
+      adapter_.send_control(make_credit_worm(CreditOp::kGrant, req.origin,
+                                             req.group, req.message_id, seq));
+    }
+    credit_mgr_->pending.pop_front();
+  }
+  maybe_start_token();
+}
+
+void HostProtocol::maybe_start_token() {
+  assert(credit_mgr_ != nullptr);
+  if (token_active_ || n_hosts_ < 2) return;
+  // Circulate only while credits are out in the field or requests wait —
+  // this keeps the simulation quiescent when the network is idle.
+  std::int64_t total = 0;
+  for (const std::int64_t c : credit_mgr_->credits) total += c;
+  const std::int64_t full =
+      static_cast<std::int64_t>(config_.credits_per_host) * n_hosts_;
+  if (credit_mgr_->pending.empty() && total >= full) return;
+  token_active_ = true;
+  sim_.after(config_.token_interval, [this] { emit_token(); });
+}
+
+void HostProtocol::emit_token() {
+  assert(credit_mgr_ != nullptr && n_hosts_ > 1);
+  const auto next = static_cast<HostId>((host_ + 1) % n_hosts_);
+  WormPtr token = make_credit_worm(CreditOp::kToken, next, kNoGroup, 0, -1);
+  token->token_counts =
+      std::make_shared<std::vector<std::int64_t>>(n_hosts_, 0);
+  adapter_.send_control(std::move(token));
+}
+
+void HostProtocol::forward_token(const WormPtr& token) {
+  (*token->token_counts)[host_] += freed_credits_;
+  freed_credits_ = 0;
+  const auto next = static_cast<HostId>((host_ + 1) % n_hosts_);
+  WormPtr hop = make_credit_worm(CreditOp::kToken, next, kNoGroup, 0, -1);
+  hop->token_counts = token->token_counts;
+  adapter_.send_control(std::move(hop));
+}
+
+// --- ordered forwarding window ----------------------------------------------
+
+std::uint64_t HostProtocol::window_key(GroupId g, HostId to) const {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(g)) << 32) |
+         static_cast<std::uint32_t>(to);
+}
+
+void HostProtocol::window_push(const TaskPtr& task, std::size_t send_index,
+                               bool cut_through) {
+  const std::uint64_t key = window_key(task->group, task->sends[send_index].to);
+  if (window_busy_[key]) {
+    windows_[key].push_back(WindowEntry{task, send_index, cut_through});
+    return;
+  }
+  window_busy_[key] = true;
+  issue_send(task, task->sends[send_index], cut_through);
+}
+
+void HostProtocol::window_advance(GroupId g, HostId to) {
+  const std::uint64_t key = window_key(g, to);
+  auto& queue = windows_[key];
+  if (queue.empty()) {
+    window_busy_[key] = false;
+    return;
+  }
+  WindowEntry entry = std::move(queue.front());
+  queue.pop_front();
+  issue_send(entry.task, entry.task->sends[entry.send_index], entry.cut_through);
+}
+
+}  // namespace wormcast

@@ -1,0 +1,200 @@
+// Per-host multicast protocol engine (the paper's contribution,
+// Sections 4-6), implemented as the policy client of a HostAdapter.
+//
+// Responsibilities:
+//  * originate unicast and multicast messages handed down by the
+//    application / traffic generator;
+//  * run the selected multicast structure (repeated unicast, Hamiltonian
+//    circuit, rooted tree) hop by hop;
+//  * implicit buffer reservation: accept + ACK when the forwarding pool has
+//    room for the whole worm, drop + NACK otherwise (Figure 5), with
+//    retransmission after a back-off;
+//  * two-buffer-class allocation so reservation waits cannot cycle
+//    (Figure 7);
+//  * optional total ordering by serializing through the lowest-ID member /
+//    root, with per-successor in-order forwarding.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "adapter/buffer_pool.h"
+#include "adapter/host_adapter.h"
+#include "core/group_tables.h"
+#include "core/metrics.h"
+#include "core/protocol_config.h"
+#include "net/updown.h"
+#include "net/worm.h"
+#include "sim/random.h"
+#include "sim/simulator.h"
+#include "traffic/generator.h"
+
+namespace wormcast {
+
+class HostProtocol final : public AdapterClient {
+ public:
+  HostProtocol(Simulator& sim, HostAdapter& adapter, const UpDownRouting& routing,
+               const GroupTables& tables, Metrics& metrics,
+               const ProtocolConfig& config, RandomStream rng, int n_hosts);
+  HostProtocol(const HostProtocol&) = delete;
+  HostProtocol& operator=(const HostProtocol&) = delete;
+
+  /// Application entry point: send a unicast or multicast message.
+  void originate(const Demand& demand);
+
+  /// A unicast this host sent was flushed by a multicast-IDLE port
+  /// (switch-level scheme (c)); retransmit a fresh copy after a random
+  /// timeout, as the paper prescribes.
+  void on_unicast_flushed(const WormPtr& worm);
+
+  [[nodiscard]] HostId host() const { return host_; }
+  [[nodiscard]] const BufferPool& pool() const { return pool_; }
+  /// Forwarding tasks currently holding buffer space.
+  [[nodiscard]] std::size_t active_tasks() const { return tasks_.size(); }
+
+  // AdapterClient.
+  RxDecision on_rx_head(const WormPtr& worm,
+                        const std::shared_ptr<RxProgress>& rx) override;
+  void on_rx_complete(const WormPtr& worm, std::int64_t payload_bytes) override;
+  void on_tx_done(const WormPtr& worm) override;
+
+ private:
+  /// One message being held at this adapter for forwarding: the reservation
+  /// plus the list of successors still to be sent / acknowledged.
+  struct Task {
+    std::shared_ptr<MessageContext> ctx;
+    GroupId group = kNoGroup;
+    std::uint64_t message_id = 0;
+    HostId origin = kNoHost;
+    std::int64_t payload = 0;
+    std::int64_t seq = -1;
+    int hops_remaining = 0;  // circuit hop budget of the *received* copy
+    std::shared_ptr<RxProgress> rx;  // reception progress (cut-through)
+    int cls = 0;
+    std::int64_t reserved = 0;  // pool bytes held (0 for originator tasks)
+    /// Successor sends: target plus the header to stamp on the copy.
+    struct Send {
+      HostId to = kNoHost;
+      McastHeader header;
+      bool started = false;
+      bool acked = false;
+      int attempts = 0;  // NACKed tries (drives exponential back-off)
+    };
+    std::vector<Send> sends;
+    bool delivered = false;    // local delivery (or none needed) finished
+    bool rx_complete = false;  // full worm present at this adapter
+    bool originator = false;   // task created by originate(), holds no pool
+  };
+  using TaskPtr = std::shared_ptr<Task>;
+
+  void originate_unicast(const Demand& d);
+  void originate_multicast(const Demand& d);
+
+  /// Builds the successor list + headers for a multicast copy arriving at
+  /// (or originated by) this host. `from` is the previous hop (kNoHost at
+  /// the originator / serializer start).
+  [[nodiscard]] std::vector<Task::Send> plan_successors(
+      GroupId group, HostId origin, std::uint64_t message_id, std::int64_t seq,
+      int hops_remaining, int incoming_class, bool at_serializer, HostId from) const;
+
+  /// Serializer (lowest-ID member / root) starts the multicast proper.
+  void start_serialized(const TaskPtr& task);
+
+  void launch_sends(const TaskPtr& task, bool allow_cut_through);
+  void issue_send(const TaskPtr& task, Task::Send& send, bool cut_through);
+  void retransmit_later(const TaskPtr& task, std::size_t send_index);
+  void maybe_release(const TaskPtr& task);
+
+  WormPtr make_data_worm(const TaskPtr& task, const Task::Send& send) const;
+  WormPtr make_control_worm(WormKind kind, const WormPtr& data_worm) const;
+
+  [[nodiscard]] bool is_confirmation(const McastHeader& h) const;
+  void deliver_locally(const TaskPtr& task);
+  void handle_ack(const WormPtr& worm);
+  void handle_nack(const WormPtr& worm);
+  void handle_mcast_data(const WormPtr& worm);
+
+  /// Ordered-forwarding window (total ordering): at most one un-ACKed send
+  /// per (group, successor); later sends queue behind it.
+  [[nodiscard]] std::uint64_t window_key(GroupId g, HostId to) const;
+  void window_push(const TaskPtr& task, std::size_t send_index, bool cut_through);
+  void window_advance(GroupId g, HostId to);
+
+  Simulator& sim_;
+  HostAdapter& adapter_;
+  const UpDownRouting& routing_;
+  const GroupTables& tables_;
+  Metrics& metrics_;
+  ProtocolConfig config_;
+  RandomStream rng_;
+  HostId host_;
+  BufferPool pool_;
+
+  /// True when the scheme delivers in a globally agreed order (trees are
+  /// root-serialized by construction; the circuit when total_ordering).
+  [[nodiscard]] bool serialized_scheme() const {
+    if (config_.scheme == Scheme::kTreeSF || config_.scheme == Scheme::kTreeCT)
+      return true;
+    return scheme_uses_circuit(config_.scheme) && config_.total_ordering;
+  }
+
+  /// Forwarding tasks by message id (at most one per message: each member
+  /// appears once in the circuit/tree).
+  std::unordered_map<std::uint64_t, TaskPtr> tasks_;
+  /// Originator tasks by message id (kept separate: with serialization the
+  /// origin may later also hold a forwarding task for the same message).
+  std::unordered_map<std::uint64_t, TaskPtr> origin_tasks_;
+  /// Sends awaiting ACK (or transmit completion when reservation is off),
+  /// keyed by (message id, successor).
+  std::unordered_map<std::uint64_t, TaskPtr> ack_wait_;
+  /// Per-group sequence counter (only advanced at the serializer).
+  std::unordered_map<GroupId, std::int64_t> seq_counters_;
+  /// Ordered-forwarding queues (total ordering only).
+  struct WindowEntry {
+    TaskPtr task;
+    std::size_t send_index = 0;
+    bool cut_through = false;
+  };
+  std::unordered_map<std::uint64_t, std::deque<WindowEntry>> windows_;
+  std::unordered_map<std::uint64_t, bool> window_busy_;
+  /// Switch-level multicast reassembly: payload bytes received so far per
+  /// message (scheme (b) delivers a message as several fragments).
+  std::unordered_map<std::uint64_t, std::int64_t> switch_mcast_rx_;
+
+  // --- [VLB96] centralized credit scheme ------------------------------------
+  void begin_serialized_dispatch(const TaskPtr& task);
+  void handle_credit_op(const WormPtr& worm);
+  void apply_grant(const TaskPtr& task, std::int64_t seq);
+  void try_credit_grants();
+  [[nodiscard]] std::vector<HostId> credit_slots_needed(GroupId group,
+                                                        HostId origin) const;
+  void emit_token();
+  void forward_token(const WormPtr& token);
+  WormPtr make_credit_worm(CreditOp op, HostId dst, GroupId group,
+                           std::uint64_t message_id, std::int64_t seq) const;
+
+  /// Manager-side state (allocated only on the credit-manager host).
+  struct CreditManager {
+    std::vector<std::int64_t> credits;  // manager's view, per host
+    struct Pending {
+      std::uint64_t message_id = 0;
+      GroupId group = kNoGroup;
+      HostId origin = kNoHost;
+    };
+    std::deque<Pending> pending;  // FIFO: grants are sequenced
+  };
+  std::unique_ptr<CreditManager> credit_mgr_;
+  std::int64_t freed_credits_ = 0;  // returned by the next token visit
+  bool token_active_ = false;       // a token is scheduled or circulating
+  int n_hosts_ = 0;
+
+  /// Starts token circulation if credits are outstanding or requests wait
+  /// (and stops the simulation from idling when there is nothing to do).
+  void maybe_start_token();
+};
+
+}  // namespace wormcast

@@ -1,0 +1,44 @@
+// Multicast IP interoperation (Section 8.1).
+//
+// Class D (224.0.0.0/4) addresses map onto the 8-bit Myrinet multicast
+// group space by taking the low eight bits; group 255 is the broadcast
+// address. Several IP groups may share a Myrinet group (the receiving IP
+// layer filters), so the fabric-level group must be the union of all IP
+// groups with common low bits.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "sim/types.h"
+
+namespace wormcast {
+
+/// True for class D (multicast) IPv4 addresses: 224.0.0.0 - 239.255.255.255.
+[[nodiscard]] constexpr bool is_class_d(std::uint32_t ip) {
+  return (ip >> 28) == 0xE;
+}
+
+/// Maps a class D address to its Myrinet multicast group (the low 8 bits).
+/// Throws std::invalid_argument for non-multicast addresses.
+[[nodiscard]] inline GroupId myrinet_group_of(std::uint32_t class_d_ip) {
+  if (!is_class_d(class_d_ip))
+    throw std::invalid_argument("not a class D multicast address");
+  return static_cast<GroupId>(class_d_ip & 0xFF);
+}
+
+/// True when two IP multicast groups collide onto one Myrinet group and
+/// the receiving IP layers must filter.
+[[nodiscard]] inline bool groups_collide(std::uint32_t ip_a, std::uint32_t ip_b) {
+  return ip_a != ip_b && myrinet_group_of(ip_a) == myrinet_group_of(ip_b);
+}
+
+/// Builds a dotted-quad class D address helper for tests/examples.
+[[nodiscard]] constexpr std::uint32_t ipv4(std::uint8_t a, std::uint8_t b,
+                                           std::uint8_t c, std::uint8_t d) {
+  return (static_cast<std::uint32_t>(a) << 24) |
+         (static_cast<std::uint32_t>(b) << 16) |
+         (static_cast<std::uint32_t>(c) << 8) | d;
+}
+
+}  // namespace wormcast

@@ -1,0 +1,81 @@
+#include "core/metrics.h"
+
+#include <cassert>
+
+namespace wormcast {
+
+namespace {
+std::uint64_t order_key(HostId host, GroupId group) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(host)) << 32) |
+         static_cast<std::uint32_t>(group);
+}
+}  // namespace
+
+std::shared_ptr<MessageContext> Metrics::create_message(HostId origin,
+                                                        GroupId group,
+                                                        std::int64_t payload,
+                                                        int destinations,
+                                                        Time now) {
+  auto ctx = std::make_shared<MessageContext>();
+  ctx->message_id = next_id_++;
+  ctx->origin = origin;
+  ctx->group = group;
+  ctx->payload = payload;
+  ctx->destinations_total = destinations;
+  ctx->created_at = now;
+  ++created_;
+  if (destinations > 0)
+    outstanding_.emplace(ctx->message_id, now);
+  else
+    ++completed_;
+  return ctx;
+}
+
+bool Metrics::on_delivered(const std::shared_ptr<MessageContext>& ctx,
+                           HostId /*member*/, Time now) {
+  assert(ctx->destinations_reached < ctx->destinations_total);
+  ++ctx->destinations_reached;
+  const bool in_window = ctx->created_at >= window_start_;
+  const auto latency = static_cast<double>(now - ctx->created_at);
+  if (in_window) {
+    payload_delivered_ += ctx->payload;
+    if (ctx->group == kNoGroup)
+      unicast_latency_.add(latency);
+    else
+      mcast_latency_.add(latency);
+  }
+  if (ctx->destinations_reached == ctx->destinations_total) {
+    if (in_window && ctx->group != kNoGroup) mcast_completion_.add(latency);
+    outstanding_.erase(ctx->message_id);
+    ++completed_;
+    last_completion_ = now;
+    return true;
+  }
+  return false;
+}
+
+void Metrics::on_confirmation(const std::shared_ptr<MessageContext>& /*ctx*/,
+                              Time /*now*/) {
+  // Circuit confirmation (the worm returned to its originator); counted via
+  // the completion samples already, kept as a hook for tests.
+}
+
+void Metrics::record_order(HostId host, GroupId group,
+                           std::uint64_t message_id) {
+  orders_[order_key(host, group)].push_back(message_id);
+}
+
+const std::vector<std::uint64_t>* Metrics::order_of(HostId host,
+                                                    GroupId group) const {
+  const auto it = orders_.find(order_key(host, group));
+  return it == orders_.end() ? nullptr : &it->second;
+}
+
+Time Metrics::oldest_outstanding_age(Time now) const {
+  Time oldest = now;
+  for (const auto& [id, created] : outstanding_)
+    oldest = std::min(oldest, created);
+  return now - oldest;
+}
+
+}  // namespace wormcast

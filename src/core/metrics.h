@@ -1,0 +1,94 @@
+// Experiment metric collection.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "net/worm.h"
+#include "sim/stats.h"
+#include "sim/types.h"
+
+namespace wormcast {
+
+/// Aggregates the observations the paper's figures are built from:
+/// per-destination multicast latency (Figures 10 and 11 plot its average),
+/// whole-group completion latency, unicast latency, delivered payload
+/// (throughput), loss, and protocol-event counters.
+///
+/// Warmup handling: samples are recorded only for messages *created* at or
+/// after the measurement window start.
+class Metrics {
+ public:
+  /// Messages created before this time are excluded from samples.
+  void set_window_start(Time t) { window_start_ = t; }
+  [[nodiscard]] Time window_start() const { return window_start_; }
+
+  std::shared_ptr<MessageContext> create_message(HostId origin, GroupId group,
+                                                 std::int64_t payload,
+                                                 int destinations, Time now);
+
+  /// One destination got the payload. Returns true if this completed the
+  /// message (all destinations reached).
+  bool on_delivered(const std::shared_ptr<MessageContext>& ctx, HostId member,
+                    Time now);
+
+  /// Loss accounting (adapter input-buffer drops, Figure 13).
+  void on_mcast_drop() { ++mcast_drops_; }
+  void on_nack() { ++nacks_; }
+  void on_retransmit() { ++retransmits_; }
+  void on_relay() { ++relays_; }
+  void on_confirmation(const std::shared_ptr<MessageContext>& ctx, Time now);
+
+  /// Delivery order audit trail: per host, the (group, message) sequence
+  /// observed; the total-ordering tests compare these across members.
+  void record_order(HostId host, GroupId group, std::uint64_t message_id);
+  [[nodiscard]] const std::vector<std::uint64_t>* order_of(HostId host,
+                                                           GroupId group) const;
+
+  [[nodiscard]] const SampleSet& mcast_latency() const { return mcast_latency_; }
+  [[nodiscard]] const SampleSet& mcast_completion() const {
+    return mcast_completion_;
+  }
+  [[nodiscard]] const SampleSet& unicast_latency() const {
+    return unicast_latency_;
+  }
+  [[nodiscard]] std::int64_t mcast_drops() const { return mcast_drops_; }
+  [[nodiscard]] std::int64_t nacks() const { return nacks_; }
+  [[nodiscard]] std::int64_t retransmits() const { return retransmits_; }
+  [[nodiscard]] std::int64_t relays() const { return relays_; }
+  [[nodiscard]] std::int64_t messages_created() const { return created_; }
+  [[nodiscard]] std::int64_t messages_completed() const { return completed_; }
+  [[nodiscard]] std::int64_t payload_delivered() const { return payload_delivered_; }
+
+  /// Messages not yet fully delivered.
+  [[nodiscard]] std::int64_t outstanding() const {
+    return static_cast<std::int64_t>(outstanding_.size());
+  }
+  /// Age of the oldest unfinished message; 0 when none. The livelock /
+  /// buffer-deadlock detector for the ablation benches.
+  [[nodiscard]] Time oldest_outstanding_age(Time now) const;
+
+  /// Time the most recent message completed (0 if none yet).
+  [[nodiscard]] Time last_completion_time() const { return last_completion_; }
+
+ private:
+  Time window_start_ = 0;
+  std::uint64_t next_id_ = 1;
+  SampleSet mcast_latency_;
+  SampleSet mcast_completion_;
+  SampleSet unicast_latency_;
+  std::int64_t mcast_drops_ = 0;
+  std::int64_t nacks_ = 0;
+  std::int64_t retransmits_ = 0;
+  std::int64_t relays_ = 0;
+  std::int64_t created_ = 0;
+  std::int64_t completed_ = 0;
+  std::int64_t payload_delivered_ = 0;
+  Time last_completion_ = 0;
+  std::unordered_map<std::uint64_t, Time> outstanding_;  // id -> created_at
+  std::unordered_map<std::uint64_t, std::vector<std::uint64_t>> orders_;
+};
+
+}  // namespace wormcast

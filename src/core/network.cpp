@@ -1,0 +1,133 @@
+#include "core/network.h"
+
+#include <utility>
+
+#include "net/mcast_route_builder.h"
+#include "sim/random.h"
+
+namespace wormcast {
+
+Network::Network(Topology topo, std::vector<MulticastGroupSpec> groups,
+                 ExperimentConfig config)
+    : topo_(std::move(topo)), groups_(std::move(groups)), config_(config) {
+  topo_.validate();
+  fabric_ = std::make_unique<Fabric>(sim_, topo_, config_.fabric);
+  routing_ = std::make_unique<UpDownRouting>(topo_, config_.routing);
+  UpDownOptions tree_opts = config_.routing;
+  tree_opts.root = routing_->root();
+  tree_opts.tree_links_only = true;
+  tree_routing_ = std::make_unique<UpDownRouting>(topo_, tree_opts);
+  mcast_engine_ = std::make_unique<SwitchMcastEngine>(
+      sim_, topo_, *tree_routing_, config_.switch_mcast);
+  fabric_->install_mcast_engine(mcast_engine_.get());
+  tables_ = std::make_unique<GroupTables>(groups_, *routing_,
+                                          config_.protocol.max_tree_fanout);
+  RandomStream master(config_.seed);
+  const int n = topo_.num_hosts();
+  adapters_.reserve(static_cast<std::size_t>(n));
+  protocols_.reserve(static_cast<std::size_t>(n));
+  for (HostId h = 0; h < n; ++h) {
+    adapters_.push_back(
+        std::make_unique<HostAdapter>(sim_, *fabric_, h, config_.adapter));
+    protocols_.push_back(std::make_unique<HostProtocol>(
+        sim_, *adapters_.back(), *routing_, *tables_, metrics_,
+        config_.protocol, master.fork(0x5000 + static_cast<std::uint64_t>(h)),
+        n));
+  }
+  traffic_ = std::make_unique<TrafficGenerator>(
+      sim_, config_.traffic, groups_, n, master.fork(0x7AFF1C),
+      [this](const Demand& d) { inject(d); });
+  mcast_engine_->set_flush_handler([this](const WormPtr& worm) {
+    protocols_[worm->src]->on_unicast_flushed(worm);
+  });
+}
+
+Network::~Network() = default;
+
+void Network::inject(const Demand& demand) {
+  protocols_[demand.src]->originate(demand);
+}
+
+std::shared_ptr<MessageContext> Network::send_switch_multicast(
+    HostId src, GroupId group, std::int64_t payload) {
+  const CircuitTable& members = tables_->circuit(group);
+  const int dests = members.size() - (members.contains(src) ? 1 : 0);
+  auto ctx = metrics_.create_message(src, group, payload, dests, sim_.now());
+  if (dests == 0) return ctx;
+  auto worm = std::make_shared<Worm>();
+  worm->id = ctx->message_id;
+  worm->kind = WormKind::kSwitchMcast;
+  worm->src = src;
+  worm->payload = payload;
+  worm->header = 0;  // metadata rides in the shared message context
+  worm->mcast_route = EncodedMcastRoute::encode(
+      build_mcast_branches(topo_, *tree_routing_, src, members.order()));
+  worm->message = ctx;
+  worm->created_at = ctx->created_at;
+  adapters_[src]->send(std::move(worm));
+  return ctx;
+}
+
+std::shared_ptr<MessageContext> Network::send_switch_broadcast(
+    HostId src, std::int64_t payload) {
+  auto ctx = metrics_.create_message(src, kBroadcastGroup, payload,
+                                     topo_.num_hosts() - 1, sim_.now());
+  auto worm = std::make_shared<Worm>();
+  worm->id = ctx->message_id;
+  worm->kind = WormKind::kSwitchMcast;
+  worm->src = src;
+  worm->payload = payload;
+  worm->header = 0;
+  worm->broadcast_flood = true;
+  worm->route = tree_routing_->route_to_root(src);
+  worm->message = ctx;
+  worm->created_at = ctx->created_at;
+  adapters_[src]->send(std::move(worm));
+  return ctx;
+}
+
+void Network::run(Time warmup, Time measure, Time drain_cap) {
+  metrics_.set_window_start(warmup);
+  measure_span_ = measure;
+  traffic_->start(warmup + measure);
+  sim_.at(warmup,
+          [this] { egress_at_window_start_ = fabric_->host_egress_bytes(); });
+  sim_.at(warmup + measure,
+          [this] { egress_at_window_end_ = fabric_->host_egress_bytes(); });
+  sim_.run_until(warmup + measure);
+  // Drain: let in-flight messages finish so tail latencies are recorded,
+  // bounded so saturated runs terminate.
+  const Time drain_deadline = warmup + measure + drain_cap;
+  while (metrics_.outstanding() > 0 && sim_.now() < drain_deadline &&
+         !sim_.idle()) {
+    sim_.run_until(std::min(drain_deadline, sim_.now() + 10'000));
+  }
+}
+
+Network::Summary Network::summary() const {
+  Summary s;
+  s.offered_load = config_.traffic.offered_load;
+  if (measure_span_ > 0) {
+    s.measured_utilization =
+        static_cast<double>(egress_at_window_end_ - egress_at_window_start_) /
+        static_cast<double>(measure_span_) /
+        static_cast<double>(topo_.num_hosts());
+  }
+  s.mcast_latency_mean = metrics_.mcast_latency().mean();
+  s.mcast_latency_p95 = metrics_.mcast_latency().percentile(95.0);
+  s.mcast_completion_mean = metrics_.mcast_completion().mean();
+  s.unicast_latency_mean = metrics_.unicast_latency().mean();
+  const double span = measure_span_ > 0 ? static_cast<double>(measure_span_) : 1.0;
+  s.throughput_per_host = static_cast<double>(metrics_.payload_delivered()) /
+                          span / static_cast<double>(topo_.num_hosts());
+  s.messages = metrics_.messages_created();
+  s.drops = metrics_.mcast_drops();
+  s.nacks = metrics_.nacks();
+  s.retransmits = metrics_.retransmits();
+  s.outstanding = metrics_.outstanding();
+  s.oldest_outstanding_age = metrics_.oldest_outstanding_age(sim_.now());
+  s.fabric_overflows = fabric_->total_overflows();
+  return s;
+}
+
+}  // namespace wormcast

@@ -1,0 +1,121 @@
+// Facade: builds a complete simulated wormhole LAN — fabric, up/down
+// routing, host adapters, multicast protocol engines, traffic — and runs
+// experiments over it. This is the top-level public API; the examples and
+// benches are written against it.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "adapter/host_adapter.h"
+#include "core/group_tables.h"
+#include "core/host_protocol.h"
+#include "core/metrics.h"
+#include "core/protocol_config.h"
+#include "net/fabric.h"
+#include "net/switch_mcast_engine.h"
+#include "net/topology.h"
+#include "net/updown.h"
+#include "sim/simulator.h"
+#include "traffic/generator.h"
+#include "traffic/groups.h"
+
+namespace wormcast {
+
+struct ExperimentConfig {
+  FabricConfig fabric;
+  AdapterConfig adapter;
+  ProtocolConfig protocol;
+  TrafficConfig traffic;
+  UpDownOptions routing;
+  SwitchMcastConfig switch_mcast;
+  std::uint64_t seed = 1;
+};
+
+class Network {
+ public:
+  /// Builds the runtime network. `groups` lists the multicast groups
+  /// (see traffic/groups.h for generators).
+  Network(Topology topo, std::vector<MulticastGroupSpec> groups,
+          ExperimentConfig config = ExperimentConfig());
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+  ~Network();
+
+  /// Runs a traffic-driven experiment: generate for `warmup + measure`
+  /// byte-times, record samples only for messages created after `warmup`,
+  /// then drain in-flight messages for up to `drain_cap` further byte-times.
+  void run(Time warmup, Time measure, Time drain_cap = 500'000);
+
+  /// Injects one application demand directly (tests and examples).
+  void inject(const Demand& demand);
+
+  /// Sends a *switch-level* multicast (Section 3): the fabric replicates
+  /// the worm along a tree encoded in its header; routes are restricted to
+  /// the up/down spanning tree. Returns the message context for metrics.
+  std::shared_ptr<MessageContext> send_switch_multicast(HostId src, GroupId group,
+                                                        std::int64_t payload);
+
+  /// Sends a *switch-level* broadcast (Section 3, last paragraph): the
+  /// worm climbs to the up/down root and floods the spanning tree's down
+  /// links; every other host receives one copy.
+  std::shared_ptr<MessageContext> send_switch_broadcast(HostId src,
+                                                        std::int64_t payload);
+
+  [[nodiscard]] SwitchMcastEngine& switch_mcast_engine() { return *mcast_engine_; }
+
+  /// Advances the simulation (tests and examples drive this directly).
+  void run_until(Time deadline) { sim_.run_until(deadline); }
+  void run_to_quiescence() { sim_.run(); }
+
+  [[nodiscard]] Simulator& sim() { return sim_; }
+  [[nodiscard]] const Topology& topology() const { return topo_; }
+  [[nodiscard]] Fabric& fabric() { return *fabric_; }
+  [[nodiscard]] const UpDownRouting& routing() const { return *routing_; }
+  [[nodiscard]] const GroupTables& tables() const { return *tables_; }
+  [[nodiscard]] Metrics& metrics() { return metrics_; }
+  [[nodiscard]] int num_hosts() const { return topo_.num_hosts(); }
+  [[nodiscard]] HostAdapter& adapter(HostId h) { return *adapters_[h]; }
+  [[nodiscard]] HostProtocol& protocol(HostId h) { return *protocols_[h]; }
+
+  /// Aggregate results of the last run.
+  struct Summary {
+    double offered_load = 0.0;             // generation-rate knob
+    double measured_utilization = 0.0;     // per-host output-link utilization
+                                           // over the window (paper's x-axis)
+    double mcast_latency_mean = 0.0;       // per-destination (Figures 10/11)
+    double mcast_latency_p95 = 0.0;
+    double mcast_completion_mean = 0.0;    // whole-group
+    double unicast_latency_mean = 0.0;
+    double throughput_per_host = 0.0;      // delivered payload B / bt / host
+    std::int64_t messages = 0;
+    std::int64_t drops = 0;
+    std::int64_t nacks = 0;
+    std::int64_t retransmits = 0;
+    std::int64_t outstanding = 0;          // undelivered at end (stall sign)
+    Time oldest_outstanding_age = 0;
+    std::int64_t fabric_overflows = 0;     // must be 0
+  };
+  [[nodiscard]] Summary summary() const;
+
+ private:
+  Topology topo_;
+  std::vector<MulticastGroupSpec> groups_;
+  ExperimentConfig config_;
+  Simulator sim_;
+  Metrics metrics_;
+  std::unique_ptr<Fabric> fabric_;
+  std::unique_ptr<UpDownRouting> routing_;
+  std::unique_ptr<UpDownRouting> tree_routing_;  // spanning-tree-only paths
+  std::unique_ptr<SwitchMcastEngine> mcast_engine_;
+  std::unique_ptr<GroupTables> tables_;
+  std::vector<std::unique_ptr<HostAdapter>> adapters_;
+  std::vector<std::unique_ptr<HostProtocol>> protocols_;
+  std::unique_ptr<TrafficGenerator> traffic_;
+  Time measure_span_ = 0;
+  std::int64_t egress_at_window_start_ = 0;
+  std::int64_t egress_at_window_end_ = 0;
+};
+
+}  // namespace wormcast

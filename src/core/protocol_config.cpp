@@ -1,0 +1,18 @@
+#include "core/protocol_config.h"
+
+namespace wormcast {
+
+const char* scheme_name(Scheme s) {
+  switch (s) {
+    case Scheme::kRepeatedUnicast: return "repeated-unicast";
+    case Scheme::kHamiltonianSF: return "hamiltonian-sf";
+    case Scheme::kHamiltonianCT: return "hamiltonian-ct";
+    case Scheme::kTreeSF: return "tree-sf";
+    case Scheme::kTreeCT: return "tree-ct";
+    case Scheme::kTreeBroadcast: return "tree-broadcast";
+    case Scheme::kCentralizedCredit: return "centralized-credit";
+  }
+  return "unknown";
+}
+
+}  // namespace wormcast

@@ -1,0 +1,107 @@
+// Configuration of the host-adapter multicast protocols (Sections 4-6).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/types.h"
+
+namespace wormcast {
+
+/// Which multicast scheme the hosts run.
+enum class Scheme : std::uint8_t {
+  /// Myrinet's stock behaviour: the source unicasts a copy to every member
+  /// (Section 2, "multicopy unicasting"). The baseline the paper criticizes.
+  kRepeatedUnicast,
+  /// Hamiltonian circuit, store-and-forward at each member (Section 5).
+  kHamiltonianSF,
+  /// Hamiltonian circuit with cut-through at each member when the adapter
+  /// transmitter is free (Section 5 / Figure 10's middle curve).
+  kHamiltonianCT,
+  /// Rooted tree, store-and-forward, serialized through the root
+  /// (Section 6; also gives total ordering).
+  kTreeSF,
+  /// Rooted tree with cut-through toward the first child.
+  kTreeCT,
+  /// Rooted tree, originator broadcasts on the tree (climb + descend with
+  /// the two-buffer-class rule; lower latency, no total ordering).
+  kTreeBroadcast,
+  /// The [VLB96] centralized credit scheme the paper contrasts against
+  /// (Section 1): before multicasting, the source obtains a cumulative
+  /// buffer credit for all destinations from a designated credit-manager
+  /// host; sequenced grants give total ordering; the manager replenishes
+  /// its pool through a circulating credit-gathering token. Buffers are
+  /// never oversubscribed (no NACKs), but latency grows by the
+  /// request/grant round trip and buffers sit idle until the token
+  /// returns them.
+  kCentralizedCredit,
+};
+
+[[nodiscard]] constexpr bool scheme_uses_tree(Scheme s) {
+  return s == Scheme::kTreeSF || s == Scheme::kTreeCT ||
+         s == Scheme::kTreeBroadcast || s == Scheme::kCentralizedCredit;
+}
+[[nodiscard]] constexpr bool scheme_uses_circuit(Scheme s) {
+  return s == Scheme::kHamiltonianSF || s == Scheme::kHamiltonianCT;
+}
+[[nodiscard]] constexpr bool scheme_cut_through(Scheme s) {
+  return s == Scheme::kHamiltonianCT || s == Scheme::kTreeCT;
+}
+
+[[nodiscard]] const char* scheme_name(Scheme s);
+
+struct ProtocolConfig {
+  Scheme scheme = Scheme::kHamiltonianSF;
+
+  /// Serialize multicasts through the lowest-ID member (circuit) or the
+  /// root (tree) so every member receives every message in the same order.
+  /// kTreeSF/kTreeCT are root-serialized by construction; this flag applies
+  /// the same discipline to the Hamiltonian circuit (Section 5, last par.).
+  bool total_ordering = false;
+
+  /// Hamiltonian circuit only: retransmit until the worm returns to its
+  /// originator, confirming delivery (Section 5's first method).
+  bool circuit_confirm = false;
+
+  /// Implicit buffer reservation with ACK/NACK (Figure 5). When false the
+  /// adapters behave like the Section 8 Myrinet implementation: worms that
+  /// do not fit in the input pool are silently dropped (Figure 13's loss).
+  bool reservation = true;
+
+  /// Two-buffer-class deadlock prevention (Figure 7). Disabling it (while
+  /// keeping reservation) is the ablation that exhibits buffer deadlock.
+  bool buffer_classes = true;
+
+  /// Forwarding pool per adapter: LANai SRAM (~25 KB in Myrinet) plus any
+  /// host-DMA extension [VLB96]. Split across classes when enabled.
+  std::int64_t pool_bytes = 50 * 1024;
+
+  /// When nonzero, receptions reserve fixed-size slots of this many bytes
+  /// instead of the exact payload — the Myrinet control program manages a
+  /// handful of MTU-sized receive buffers, so a 1 KB packet occupies a
+  /// whole slot. Used by the Section 8.2 testbed reproduction.
+  std::int64_t input_slot_bytes = 0;
+
+  /// Multicast header bytes added to each hop copy (group, hop count,
+  /// class, message id, sequence).
+  std::int64_t mcast_header_bytes = 8;
+  /// Payload of ACK/NACK control worms.
+  std::int64_t control_payload = 8;
+
+  /// Retransmission back-off after a NACK, plus uniform jitter.
+  Time retry_backoff = 4000;
+  Time retry_jitter = 2000;
+
+  /// Cap children per node in the rooted tree (0 = unlimited; 2 mimics the
+  /// binary trees of [VLB96]).
+  int max_tree_fanout = 0;
+
+  // --- kCentralizedCredit ([VLB96]) parameters ------------------------------
+  /// Host adapter acting as the credit manager.
+  HostId credit_manager = 0;
+  /// Worm-buffer slots the manager believes each host has.
+  int credits_per_host = 4;
+  /// Gap between credit-gathering token circulations.
+  Time token_interval = 5'000;
+};
+
+}  // namespace wormcast

@@ -1,0 +1,75 @@
+#include "net/channel.h"
+
+#include <cassert>
+
+namespace wormcast {
+
+void Channel::attach_feed(ByteFeed* feed) {
+  assert(feed_ == nullptr && "channel already has a feed");
+  feed_ = feed;
+  kick();
+}
+
+void Channel::detach_feed() {
+  assert(feed_ != nullptr);
+  feed_ = nullptr;
+}
+
+void Channel::kick() {
+  if (feed_ == nullptr || stopped_ || pump_scheduled_) return;
+  schedule_pump();
+}
+
+void Channel::schedule_pump() {
+  // Respect the one-byte-per-byte-time line rate.
+  const Time when = std::max(sim_.now(), last_send_ + 1);
+  pump_scheduled_ = true;
+  sim_.at(when, [this] { pump(); });
+}
+
+void Channel::pump() {
+  pump_scheduled_ = false;
+  if (feed_ == nullptr || stopped_) return;
+  if (!feed_->byte_available()) return;  // feed will kick() when ready
+
+  const TxByte b = feed_->take_byte();
+  last_send_ = sim_.now();
+  ++bytes_sent_;
+  in_flight_.push_back(InFlight{b.head, b.tail, b.worm, b.wire_len});
+  sim_.after(delay_, [this] { deliver_front(); });
+
+  if (b.tail) {
+    ByteFeed* done = feed_;
+    feed_ = nullptr;
+    done->on_tail_sent();  // may attach a new feed (re-entrant safe)
+  } else {
+    schedule_pump();
+  }
+}
+
+void Channel::deliver_front() {
+  assert(!in_flight_.empty());
+  const InFlight b = std::move(in_flight_.front());
+  in_flight_.pop_front();
+  sim_.note_progress(1);
+  assert(sink_ != nullptr && "channel delivered into the void");
+  if (b.head)
+    sink_->on_head(b.worm, b.wire_len);
+  else
+    sink_->on_body(b.tail);
+}
+
+void Channel::signal_stop() {
+  sim_.after(delay_, [this] {
+    stopped_ = true;
+  });
+}
+
+void Channel::signal_go() {
+  sim_.after(delay_, [this] {
+    stopped_ = false;
+    kick();
+  });
+}
+
+}  // namespace wormcast

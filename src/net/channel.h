@@ -1,0 +1,114 @@
+// One direction of a full-duplex link, at byte granularity.
+//
+// The transmitter end pulls bytes from a ByteFeed (a switch crossbar
+// connection or a host adapter's transmit engine) at one byte per
+// byte-time while not STOPped. Bytes arrive at the receiver end after the
+// link's propagation delay and are handed to an RxSink (a switch input
+// port's slack buffer or a host adapter's receive engine). STOP/GO control
+// symbols (Figure 1) travel against the data flow with the same propagation
+// delay; they are modeled out of band (Myrinet interleaves them in the byte
+// stream; the bandwidth cost is negligible).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+
+#include "net/worm.h"
+#include "sim/simulator.h"
+#include "sim/types.h"
+
+namespace wormcast {
+
+/// One byte as granted by a ByteFeed.
+struct TxByte {
+  bool head = false;               // first byte of a worm on this channel
+  bool tail = false;               // last byte of the worm on this channel
+  WormPtr worm;                    // set on head only
+  std::int64_t wire_len = 0;       // set on head only: bytes on this channel
+};
+
+/// Supplies bytes to a Channel's transmitter. Implemented by switch
+/// crossbar connections and adapter transmit engines.
+class ByteFeed {
+ public:
+  virtual ~ByteFeed() = default;
+  /// True if a byte can be sent right now.
+  [[nodiscard]] virtual bool byte_available() const = 0;
+  /// Takes the next byte. Called only when byte_available().
+  virtual TxByte take_byte() = 0;
+  /// Called by the channel after the feed's tail byte has been accepted;
+  /// the feed is detached before this call (safe to re-attach a new feed).
+  virtual void on_tail_sent() = 0;
+};
+
+/// Consumes bytes at a Channel's receiver. Implemented by switch input
+/// ports and adapter receive engines.
+class RxSink {
+ public:
+  virtual ~RxSink() = default;
+  /// First byte of a worm. `wire_len` is the total bytes this channel will
+  /// deliver for it (including this one and the trailer).
+  virtual void on_head(const WormPtr& worm, std::int64_t wire_len) = 0;
+  /// Every subsequent byte; `tail` marks the last one.
+  virtual void on_body(bool tail) = 0;
+};
+
+/// A directed byte pipe with propagation delay and STOP/GO backpressure.
+class Channel {
+ public:
+  Channel(Simulator& sim, Time delay) : sim_(sim), delay_(delay) {}
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  [[nodiscard]] Time delay() const { return delay_; }
+
+  /// Attaches the transmit-side byte source. The channel pulls from it
+  /// until it yields a tail byte, at which point the feed is detached.
+  /// Only one feed may be attached at a time.
+  void attach_feed(ByteFeed* feed);
+  [[nodiscard]] bool feed_attached() const { return feed_ != nullptr; }
+
+  /// Signals that the attached feed may have bytes available again.
+  void kick();
+
+  /// Detaches the feed without a tail (a multicast branch releasing a port
+  /// on which it has not yet sent anything). Precondition: attached.
+  void detach_feed();
+
+  /// Sets the receiver; must be done before any traffic flows.
+  void set_sink(RxSink* sink) { sink_ = sink; }
+
+  /// Receiver-side flow control: schedule a STOP (GO) to take effect at the
+  /// transmitter after the propagation delay.
+  void signal_stop();
+  void signal_go();
+  [[nodiscard]] bool tx_stopped() const { return stopped_; }
+
+  /// Total payload-carrying bytes ever sent (link utilization accounting).
+  [[nodiscard]] std::int64_t bytes_sent() const { return bytes_sent_; }
+
+ private:
+  struct InFlight {
+    bool head = false;
+    bool tail = false;
+    WormPtr worm;             // head only
+    std::int64_t wire_len = 0;  // head only
+  };
+
+  void pump();
+  void schedule_pump();
+  void deliver_front();
+
+  Simulator& sim_;
+  Time delay_;
+  ByteFeed* feed_ = nullptr;
+  RxSink* sink_ = nullptr;
+  bool stopped_ = false;
+  bool pump_scheduled_ = false;
+  Time last_send_ = -1;
+  std::int64_t bytes_sent_ = 0;
+  std::deque<InFlight> in_flight_;
+};
+
+}  // namespace wormcast

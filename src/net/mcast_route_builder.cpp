@@ -1,0 +1,55 @@
+#include "net/mcast_route_builder.h"
+
+#include <map>
+#include <memory>
+#include <stdexcept>
+
+namespace wormcast {
+
+namespace {
+
+struct TrieNode {
+  // Ordered by port so the encoding (and thus traffic) is deterministic.
+  std::map<PortId, std::unique_ptr<TrieNode>> children;
+};
+
+void insert_path(TrieNode& root, const std::vector<PortId>& ports) {
+  TrieNode* at = &root;
+  for (const PortId p : ports) {
+    auto& slot = at->children[p];
+    if (!slot) slot = std::make_unique<TrieNode>();
+    at = slot.get();
+  }
+  if (!at->children.empty())
+    throw std::logic_error("multicast path ends at an interior tree node");
+}
+
+std::vector<McastRouteTree> to_branches(const TrieNode& node) {
+  std::vector<McastRouteTree> out;
+  for (const auto& [port, child] : node.children) {
+    McastRouteTree t;
+    t.port = port;
+    t.children = to_branches(*child);
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<McastRouteTree> build_mcast_branches(
+    const Topology& topo, const UpDownRouting& routing, HostId src,
+    const std::vector<HostId>& dests) {
+  (void)topo;
+  TrieNode root;
+  bool any = false;
+  for (const HostId d : dests) {
+    if (d == src) continue;
+    any = true;
+    insert_path(root, routing.route(src, d).ports());
+  }
+  if (!any) throw std::invalid_argument("multicast with no destinations");
+  return to_branches(root);
+}
+
+}  // namespace wormcast

@@ -1,0 +1,27 @@
+// Builds the multicast delivery tree carried in a switch-level multicast
+// worm's header (Section 3 / Figure 2).
+//
+// Paths are taken from an up/down routing restricted to the spanning tree
+// (scheme (a) requires *all* worms to stay on the tree so the IDLE-filled
+// branches cannot close a flow-control cycle); one-source paths on a tree
+// always merge into a tree of output ports.
+#pragma once
+
+#include <vector>
+
+#include "net/source_route.h"
+#include "net/topology.h"
+#include "net/updown.h"
+#include "sim/types.h"
+
+namespace wormcast {
+
+/// Branch forest leaving the source host's switch that reaches every host
+/// in `dests` (the source itself is skipped if present). Throws if the
+/// routing's paths do not merge into a tree (use tree_links_only routing).
+std::vector<McastRouteTree> build_mcast_branches(const Topology& topo,
+                                                 const UpDownRouting& routing,
+                                                 HostId src,
+                                                 const std::vector<HostId>& dests);
+
+}  // namespace wormcast

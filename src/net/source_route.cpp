@@ -1,0 +1,114 @@
+#include "net/source_route.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace wormcast {
+
+std::string SourceRoute::to_string() const {
+  std::string out;
+  for (const PortId p : ports_) {
+    if (!out.empty()) out += '.';
+    out += std::to_string(p);
+  }
+  return out;
+}
+
+// --- EncodedMcastRoute ------------------------------------------------------
+//
+// Wire grammar (a precise formalization of Figure 2; see header):
+//   routelist := branch* END
+//   branch    := PORT PTR_LO PTR_HI bytes[PTR]
+// where bytes[PTR] is the encoded routelist of the branch's subtree, or
+// empty when the branch is a leaf (the port leads to a destination host).
+// The paper draws single-byte pointers and elides them on leaves; we use a
+// fixed 2-byte pointer so that arbitrarily large trees (e.g. broadcast on a
+// 64-switch torus) remain encodable. Semantics are unchanged.
+
+void EncodedMcastRoute::encode_level(const std::vector<McastRouteTree>& branches,
+                                     std::vector<std::uint8_t>& out) {
+  for (const McastRouteTree& b : branches) {
+    if (b.port < 0 || b.port > kMaxEncodablePort)
+      throw std::invalid_argument("mcast route: port out of encodable range");
+    out.push_back(static_cast<std::uint8_t>(b.port));
+    const std::size_t ptr_pos = out.size();
+    out.push_back(0);  // pointer placeholder (lo)
+    out.push_back(0);  // pointer placeholder (hi)
+    if (!b.children.empty()) {
+      encode_level(b.children, out);
+      out.push_back(kRouteEndMarker);
+    }
+    const std::size_t sub_len = out.size() - (ptr_pos + 2);
+    if (sub_len > 0xFFFF)
+      throw std::invalid_argument("mcast route: subtree exceeds pointer range");
+    out[ptr_pos] = static_cast<std::uint8_t>(sub_len & 0xFF);
+    out[ptr_pos + 1] = static_cast<std::uint8_t>(sub_len >> 8);
+  }
+}
+
+EncodedMcastRoute EncodedMcastRoute::encode(
+    const std::vector<McastRouteTree>& branches) {
+  if (branches.empty())
+    throw std::invalid_argument("mcast route: empty branch list");
+  std::vector<std::uint8_t> bytes;
+  encode_level(branches, bytes);
+  bytes.push_back(kRouteEndMarker);
+  return EncodedMcastRoute(std::move(bytes));
+}
+
+bool EncodedMcastRoute::empty() const {
+  return bytes_.empty() ||
+         (bytes_.size() == 1 && bytes_[0] == kRouteEndMarker);
+}
+
+std::vector<McastBranch> EncodedMcastRoute::split() const {
+  std::vector<McastBranch> out;
+  std::size_t i = 0;
+  const auto need = [&](std::size_t n) {
+    if (i + n > bytes_.size())
+      throw std::invalid_argument("mcast route: truncated encoding");
+  };
+  for (;;) {
+    need(1);
+    const std::uint8_t b = bytes_[i++];
+    if (b == kRouteEndMarker) break;
+    need(2);
+    const std::size_t sub_len =
+        static_cast<std::size_t>(bytes_[i]) |
+        (static_cast<std::size_t>(bytes_[i + 1]) << 8);
+    i += 2;
+    need(sub_len);
+    McastBranch br;
+    br.port = static_cast<PortId>(b);
+    br.subroute = EncodedMcastRoute(std::vector<std::uint8_t>(
+        bytes_.begin() + static_cast<std::ptrdiff_t>(i),
+        bytes_.begin() + static_cast<std::ptrdiff_t>(i + sub_len)));
+    i += sub_len;
+    out.push_back(std::move(br));
+  }
+  if (i != bytes_.size())
+    throw std::invalid_argument("mcast route: trailing bytes after end marker");
+  return out;
+}
+
+std::vector<McastRouteTree> EncodedMcastRoute::decode() const {
+  std::vector<McastRouteTree> out;
+  for (const McastBranch& br : split()) {
+    McastRouteTree node;
+    node.port = br.port;
+    if (!br.subroute.bytes_.empty()) node.children = br.subroute.decode();
+    out.push_back(std::move(node));
+  }
+  return out;
+}
+
+std::string EncodedMcastRoute::to_string() const {
+  std::string out;
+  for (const std::uint8_t b : bytes_) {
+    if (!out.empty()) out += ' ';
+    out += (b == kRouteEndMarker) ? "E" : std::to_string(b);
+  }
+  return out;
+}
+
+}  // namespace wormcast

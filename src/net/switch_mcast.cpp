@@ -1,0 +1,8 @@
+#include "net/switch_mcast.h"
+
+namespace wormcast {
+
+// McastEngine is an abstract hook; the concrete SwitchMcastEngine lives in
+// switch_mcast_engine.cpp. This translation unit anchors the vtable.
+
+}  // namespace wormcast

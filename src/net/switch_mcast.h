@@ -1,0 +1,63 @@
+// Switch-level multicasting (Section 3 of the paper).
+//
+// A kSwitchMcast worm carries its delivery tree as an EncodedMcastRoute
+// (Figure 2). At each switch the engine splits the branch list, claims one
+// output port per branch, and replicates the incoming byte stream onto all
+// of them. Three deadlock-avoidance schemes are modeled:
+//
+//  * kIdleFill (scheme a): the worm advances at the pace of the *slowest*
+//    branch; non-blocked branches hold their paths and idle (IDLE fills).
+//    Deadlock freedom requires every worm — unicast included — to be routed
+//    on the up/down spanning tree only; the route construction enforces it.
+//  * kInterrupt (scheme b): multicasts are serialized through the up/down
+//    root; when any branch blocks, the non-blocked branches *terminate
+//    their current fragment* and release their ports, resuming (with a
+//    fresh header) when the blockage clears. Destinations reassemble
+//    fragments; total ordering makes reassembly unambiguous.
+//  * kFlushUnicast (scheme c): branches idle as in scheme (a), but a port
+//    that has idled on behalf of a blocked multicast for longer than
+//    `idle_flush_threshold` is flagged multicast-IDLE; a unicast worm
+//    arriving at such a port is flushed from the network (backward reset)
+//    and its source retransmits after a random timeout.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "net/channel.h"
+#include "net/switch_rt.h"
+#include "net/worm.h"
+#include "sim/simulator.h"
+#include "sim/types.h"
+
+namespace wormcast {
+
+enum class SwitchMcastScheme : std::uint8_t {
+  kIdleFill,      // scheme (a): hold all branches, fill with IDLEs
+  kInterrupt,     // scheme (b): release non-blocked branches, fragment
+  kFlushUnicast,  // scheme (c): flush unicasts blocked on multicast-IDLE ports
+};
+
+/// Hook interface the switch input port calls into; implemented by
+/// SwitchMcastEngine. One engine instance serves a whole fabric.
+class McastEngine {
+ public:
+  virtual ~McastEngine() = default;
+  /// The front worm of `in` is a routed kSwitchMcast worm; take it over.
+  virtual void start(InPort& in) = 0;
+  /// More bytes of the front worm arrived at `in`.
+  virtual void on_input_bytes(InPort& in) = 0;
+  /// A unicast worm at `in` requested output `out`, which a multicast
+  /// branch holds. Return true to flush the unicast (scheme (c)); false to
+  /// let it wait in the arbitration queue.
+  virtual bool maybe_flush_unicast(SwitchRt& sw, InPort& in, PortId out) {
+    (void)sw;
+    (void)in;
+    (void)out;
+    return false;
+  }
+};
+
+}  // namespace wormcast

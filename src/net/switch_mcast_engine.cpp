@@ -1,0 +1,369 @@
+#include "net/switch_mcast_engine.h"
+
+#include <cassert>
+
+#include "net/channel.h"
+#include "net/switch_rt.h"
+
+namespace wormcast {
+
+/// Pulls bytes for one branch of a connection.
+class SwitchMcastEngine::BranchFeed final : public ByteFeed {
+ public:
+  BranchFeed(SwitchMcastEngine& engine, Conn& conn, std::size_t idx)
+      : engine_(engine), conn_(conn), idx_(idx) {}
+
+  [[nodiscard]] bool byte_available() const override {
+    return engine_.branch_byte_available(conn_, idx_);
+  }
+  TxByte take_byte() override { return engine_.branch_take(conn_, idx_); }
+  void on_tail_sent() override { engine_.branch_tail_sent(conn_, idx_); }
+
+ private:
+  SwitchMcastEngine& engine_;
+  Conn& conn_;
+  std::size_t idx_;
+};
+
+struct SwitchMcastEngine::Branch {
+  PortId port = kNoPort;
+  std::vector<std::uint8_t> prefix;  // re-sent at the start of each fragment
+  bool to_host = false;              // the port leads to a host adapter
+  WormPtr frag_worm;                 // current fragment's worm object
+  std::int64_t body_taken = 0;       // cumulative body bytes sent
+  std::int64_t frag_prefix_sent = 0;
+  std::int64_t frag_sent = 0;        // bytes sent in the current fragment
+  bool holding_port = false;
+  bool open = false;     // fragment in progress
+  bool closing = false;  // next byte is the synthetic fragment trailer
+  bool claim_pending = false;
+  bool done = false;
+  std::unique_ptr<BranchFeed> feed;
+};
+
+struct SwitchMcastEngine::Conn {
+  SwitchRt* sw = nullptr;
+  InPort* in = nullptr;
+  WormPtr worm;
+  bool flood = false;
+  std::int64_t in_wire = 0;          // declared (advisory for fragments)
+  std::int64_t encoding_len = 0;     // route prefix bytes on the input
+  std::int64_t prefix_consumed = 1;  // do_route consumed the first byte
+  std::int64_t body_consumed = 0;    // input bytes released to GO signalling
+  std::vector<Branch> branches;
+  bool check_scheduled = false;
+
+  /// Body bytes that have arrived so far on the input.
+  [[nodiscard]] std::int64_t body_arrived() const {
+    return std::max<std::int64_t>(0, in->front_received() - encoding_len);
+  }
+  /// True once the input tail arrived: body_arrived() is then final.
+  [[nodiscard]] bool body_final() const { return in->front_tail_seen(); }
+};
+
+SwitchMcastEngine::SwitchMcastEngine(Simulator& sim, const Topology& topo,
+                                     const UpDownRouting& routing,
+                                     SwitchMcastConfig config)
+    : sim_(sim), topo_(topo), routing_(routing), config_(config) {}
+
+SwitchMcastEngine::~SwitchMcastEngine() = default;
+
+void SwitchMcastEngine::start(InPort& in) {
+  auto conn = std::make_unique<Conn>();
+  Conn& c = *conn;
+  c.in = &in;
+  c.worm = in.front_worm();
+  c.in_wire = in.front_wire_len();
+  c.flood = c.worm->broadcast_flood;
+  ++connections_;
+
+  c.sw = &in.owner();
+
+  if (c.flood) {
+    c.encoding_len = 1;  // the broadcast marker byte
+    for (const PortId p : routing_.down_tree_ports(c.sw->node())) {
+      Branch b;
+      b.port = p;
+      const NodeId peer = topo_.neighbor_via(c.sw->node(), p);
+      b.to_host = topo_.node(peer).kind == NodeKind::kHost;
+      // Switch-bound copies regenerate the broadcast marker so the worm
+      // does not shrink as it floods; host-bound copies carry body only.
+      if (!b.to_host) b.prefix.push_back(0);  // marker placeholder byte
+      c.branches.push_back(std::move(b));
+    }
+  } else {
+    c.encoding_len = static_cast<std::int64_t>(c.worm->mcast_route.size_bytes());
+    for (const McastBranch& br : c.worm->mcast_route.split()) {
+      Branch b;
+      b.port = br.port;
+      b.prefix = br.subroute.bytes();
+      const NodeId peer = topo_.neighbor_via(c.sw->node(), b.port);
+      b.to_host = topo_.node(peer).kind == NodeKind::kHost;
+      assert((b.to_host == b.prefix.empty()) &&
+             "leaf branches must carry empty subroutes");
+      c.branches.push_back(std::move(b));
+    }
+  }
+  assert(!c.branches.empty() && "multicast with no branches");
+
+  Conn* raw = conn.get();
+  conns_.emplace(&in, std::move(conn));
+  consume_prefix(*raw);
+  for (std::size_t i = 0; i < raw->branches.size(); ++i) open_fragment(*raw, i);
+  if (config_.scheme == SwitchMcastScheme::kInterrupt &&
+      !raw->check_scheduled) {
+    raw->check_scheduled = true;
+    InPort* key = &in;
+    sim_.after(config_.interrupt_check, [this, key] { periodic_check(key); });
+  }
+}
+
+void SwitchMcastEngine::on_input_bytes(InPort& in) {
+  const auto it = conns_.find(&in);
+  if (it == conns_.end()) return;
+  Conn& c = *it->second;
+  consume_prefix(c);
+  kick_all(c);
+}
+
+void SwitchMcastEngine::consume_prefix(Conn& c) {
+  // Encoding bytes are consumed as they arrive (parsed by the switch).
+  while (c.prefix_consumed < c.encoding_len &&
+         c.prefix_consumed < c.in->front_received()) {
+    c.in->mcast_consume();
+    ++c.prefix_consumed;
+  }
+}
+
+void SwitchMcastEngine::open_fragment(Conn& c, std::size_t idx) {
+  Branch& b = c.branches[idx];
+  assert(!b.open && !b.done);
+  if (b.claim_pending) return;
+  if (!b.holding_port) {
+    Conn* conn_ptr = &c;
+    const bool got = c.sw->claim_output_for_mcast(
+        b.port, [this, conn_ptr, idx] { claim_complete(*conn_ptr, idx); });
+    if (!got) {
+      b.claim_pending = true;
+      return;
+    }
+    b.holding_port = true;
+  }
+  claim_complete(c, idx);
+}
+
+void SwitchMcastEngine::claim_complete(Conn& c, std::size_t idx) {
+  Branch& b = c.branches[idx];
+  b.claim_pending = false;
+  b.holding_port = true;
+  b.open = true;
+  b.closing = false;
+  b.frag_prefix_sent = 0;
+  b.frag_sent = 0;
+  ++fragments_;
+  // Fresh worm object per fragment: downstream treats each fragment as an
+  // independent worm carrying its own (re-prepended) route.
+  auto frag = std::make_shared<Worm>();
+  frag->id = c.worm->id;
+  frag->kind = WormKind::kSwitchMcast;
+  frag->src = c.worm->src;
+  frag->payload = c.worm->payload;
+  frag->header = 0;
+  frag->broadcast_flood = c.flood;
+  if (!c.flood && !b.prefix.empty())
+    frag->mcast_route = EncodedMcastRoute::from_bytes(b.prefix);
+  frag->message = c.worm->message;
+  frag->created_at = c.worm->created_at;
+  frag->mcast = c.worm->mcast;
+  b.frag_worm = std::move(frag);
+
+  Channel* ch = c.sw->out_port(b.port).channel;
+  b.feed = std::make_unique<BranchFeed>(*this, c, idx);
+  ch->attach_feed(b.feed.get());
+}
+
+bool SwitchMcastEngine::branch_byte_available(const Conn& c,
+                                              std::size_t idx) const {
+  const Branch& b = c.branches[idx];
+  if (b.done || !b.open || !b.holding_port) return false;
+  // The whole route encoding must have arrived before copies flow.
+  if (c.in->front_received() < c.encoding_len) return false;
+  if (b.frag_prefix_sent < static_cast<std::int64_t>(b.prefix.size()))
+    return true;
+  if (b.closing) return true;
+  const std::int64_t i = b.body_taken;
+  if (i >= c.body_arrived()) return false;
+  return i == min_body_taken(c);  // lockstep: only the laggard(s) advance
+}
+
+TxByte SwitchMcastEngine::branch_take(Conn& c, std::size_t idx) {
+  Branch& b = c.branches[idx];
+  TxByte out;
+  out.head = (b.frag_sent == 0);
+  if (out.head) {
+    out.worm = b.frag_worm;
+    // Advisory length: remaining declared body plus the stamped prefix.
+    out.wire_len = static_cast<std::int64_t>(b.prefix.size()) +
+                   std::max<std::int64_t>(2, c.in_wire - c.encoding_len -
+                                                 b.body_taken);
+  }
+  ++b.frag_sent;
+  c.sw->out_port(b.port).last_data_byte = sim_.now();
+  if (b.frag_prefix_sent < static_cast<std::int64_t>(b.prefix.size())) {
+    ++b.frag_prefix_sent;
+    return out;
+  }
+  if (b.closing) {
+    // Synthetic fragment trailer.
+    out.tail = true;
+    b.closing = false;
+    return out;
+  }
+  ++b.body_taken;
+  if (c.body_final() && b.body_taken == c.body_arrived()) {
+    out.tail = true;
+    b.done = true;
+  }
+  after_body_take(c);
+  return out;
+}
+
+void SwitchMcastEngine::after_body_take(Conn& c) {
+  const std::int64_t m = min_body_taken(c);
+  bool advanced = false;
+  while (c.body_consumed < m) {
+    c.in->mcast_consume();
+    ++c.body_consumed;
+    advanced = true;
+  }
+  if (advanced) kick_all(c);
+}
+
+void SwitchMcastEngine::kick_all(Conn& c) {
+  for (Branch& b : c.branches) {
+    if (b.open && b.holding_port)
+      c.sw->out_port(b.port).channel->kick();
+  }
+}
+
+void SwitchMcastEngine::branch_tail_sent(Conn& c, std::size_t idx) {
+  Branch& b = c.branches[idx];
+  assert(b.open && b.holding_port);
+  b.open = false;
+  b.holding_port = false;
+  b.feed.reset();
+  c.sw->release_mcast_output(b.port);
+  if (!b.done) return;  // fragment closed; reopened by periodic_check
+  for (const Branch& br : c.branches)
+    if (!br.done) return;
+  finish(c);
+}
+
+void SwitchMcastEngine::finish(Conn& c) {
+  InPort* key = c.in;
+  // Release any input bytes not yet consumed.
+  while (c.body_consumed < c.body_arrived()) {
+    c.in->mcast_consume();
+    ++c.body_consumed;
+  }
+  c.in->mcast_finish_front();
+  conns_.erase(key);
+}
+
+std::int64_t SwitchMcastEngine::min_body_taken(const Conn& c) const {
+  assert(!c.branches.empty());
+  std::int64_t m = c.branches.front().body_taken;
+  for (const Branch& b : c.branches) m = std::min(m, b.body_taken);
+  return m;
+}
+
+bool SwitchMcastEngine::any_branch_stopped(const Conn& c) const {
+  for (const Branch& b : c.branches) {
+    if (b.done) continue;
+    // A branch that cannot even claim its output port (Figure 3: another
+    // worm holds it) blocks the multicast just like backpressure does.
+    if (b.claim_pending) return true;
+    if (!b.open) continue;
+    if (c.sw->out_port(b.port).channel->tx_stopped()) return true;
+  }
+  return false;
+}
+
+void SwitchMcastEngine::close_fragment(Conn& c, std::size_t idx) {
+  Branch& b = c.branches[idx];
+  assert(b.open);
+  if (b.frag_sent == 0) {
+    // Nothing sent yet: release silently (no downstream framing started).
+    Channel* ch = c.sw->out_port(b.port).channel;
+    ch->detach_feed();
+    b.feed.reset();
+    b.open = false;
+    b.holding_port = false;
+    c.sw->release_mcast_output(b.port);
+    return;
+  }
+  b.closing = true;
+  c.sw->out_port(b.port).channel->kick();
+}
+
+void SwitchMcastEngine::periodic_check(InPort* key) {
+  const auto it = conns_.find(key);
+  if (it == conns_.end()) return;  // connection finished
+  Conn& c = *it->second;
+  if (config_.scheme == SwitchMcastScheme::kInterrupt) {
+    if (any_branch_stopped(c)) {
+      // Interrupt: non-blocked branches give up their paths (Section 3,
+      // variant (b)) so other traffic can use them.
+      for (std::size_t i = 0; i < c.branches.size(); ++i) {
+        Branch& b = c.branches[i];
+        if (!b.open || b.done || b.closing) continue;
+        if (c.sw->out_port(b.port).channel->tx_stopped()) continue;
+        close_fragment(c, i);
+      }
+    } else {
+      for (std::size_t i = 0; i < c.branches.size(); ++i) {
+        Branch& b = c.branches[i];
+        if (!b.open && !b.done) open_fragment(c, i);
+      }
+    }
+  }
+  sim_.after(config_.interrupt_check, [this, key] { periodic_check(key); });
+}
+
+bool SwitchMcastEngine::maybe_flush_unicast(SwitchRt& sw, InPort& in,
+                                            PortId out) {
+  if (config_.scheme != SwitchMcastScheme::kFlushUnicast) return false;
+  const WormPtr& worm = in.front_worm();
+  if (worm->kind != WormKind::kData) return false;
+  const OutPort& op = sw.out_port(out);
+  if (sim_.now() - op.last_data_byte >= config_.idle_flush_threshold) {
+    ++flushed_;
+    WormPtr flushed_worm = worm;
+    in.flush_front();
+    if (flush_handler_) flush_handler_(flushed_worm);
+    return true;
+  }
+  // Not yet multicast-IDLE: let the unicast queue, and keep watching until
+  // either the port goes multicast-IDLE (flush) or the wait resolves.
+  watch_for_flush(&sw, &in, out);
+  return false;
+}
+
+void SwitchMcastEngine::watch_for_flush(SwitchRt* sw, InPort* in, PortId out) {
+  sim_.after(config_.idle_flush_threshold, [this, sw, in, out] {
+    OutPort& port = sw->out_port(out);
+    if (!port.held_by_mcast) return;      // the multicast released the port
+    if (!sw->is_waiting(*in, out)) return;  // the unicast got through
+    if (sim_.now() - port.last_data_byte >= config_.idle_flush_threshold) {
+      sw->cancel_request(*in, out);
+      WormPtr flushed_worm = in->front_worm();
+      in->flush_front();
+      ++flushed_;
+      if (flush_handler_) flush_handler_(flushed_worm);
+      return;
+    }
+    watch_for_flush(sw, in, out);
+  });
+}
+
+}  // namespace wormcast

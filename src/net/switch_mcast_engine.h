@@ -1,0 +1,97 @@
+// The concrete switch-level multicast engine (Section 3).
+//
+// One engine instance serves the whole fabric. For every kSwitchMcast worm
+// that reaches the head of a switch input port it builds a *connection*:
+// one branch per output port named by the worm's encoded route (or, for a
+// broadcast worm past its climb, one branch per down-link of the up/down
+// spanning tree). Branches replicate the incoming byte stream in lockstep —
+// the worm advances at the pace of the slowest branch, which is exactly the
+// paper's "the time for all destinations is determined by the slowest
+// path". Scheme behaviour:
+//
+//  * kIdleFill: branches hold their ports while stalled (IDLE fill).
+//  * kInterrupt: when any branch is backpressured, the other branches end
+//    their current *fragment* (a self-contained worm carrying the stamped
+//    subroute) and release their ports; they re-acquire and resume with a
+//    fresh fragment when the stall clears. Destination adapters reassemble.
+//  * kFlushUnicast: as kIdleFill, but a port that has carried no data for
+//    idle_flush_threshold byte-times while held by a multicast flags
+//    multicast-IDLE; a unicast worm blocked on it is flushed from the
+//    network and its source notified to retransmit after a random timeout.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "net/switch_mcast.h"
+#include "net/topology.h"
+#include "net/updown.h"
+
+namespace wormcast {
+
+struct SwitchMcastConfig {
+  SwitchMcastScheme scheme = SwitchMcastScheme::kIdleFill;
+  /// Scheme (c): idle time after which a multicast-held port is flagged
+  /// multicast-IDLE.
+  Time idle_flush_threshold = 256;
+  /// Scheme (b): stall-detection / fragment-reopen polling interval.
+  Time interrupt_check = 64;
+};
+
+class SwitchMcastEngine final : public McastEngine {
+ public:
+  SwitchMcastEngine(Simulator& sim, const Topology& topo,
+                    const UpDownRouting& routing,
+                    SwitchMcastConfig config = SwitchMcastConfig());
+  ~SwitchMcastEngine() override;
+  SwitchMcastEngine(const SwitchMcastEngine&) = delete;
+  SwitchMcastEngine& operator=(const SwitchMcastEngine&) = delete;
+
+  void start(InPort& in) override;
+  void on_input_bytes(InPort& in) override;
+  bool maybe_flush_unicast(SwitchRt& sw, InPort& in, PortId out) override;
+
+  /// Called when a unicast worm is flushed (scheme (c)); the host side
+  /// schedules the retransmission.
+  using FlushHandler = std::function<void(const WormPtr&)>;
+  void set_flush_handler(FlushHandler handler) { flush_handler_ = std::move(handler); }
+
+  [[nodiscard]] std::int64_t connections_opened() const { return connections_; }
+  [[nodiscard]] std::int64_t fragments_sent() const { return fragments_; }
+  [[nodiscard]] std::int64_t unicasts_flushed() const { return flushed_; }
+
+ private:
+  struct Conn;
+  class BranchFeed;
+  struct Branch;
+
+  void open_fragment(Conn& conn, std::size_t idx);
+  void claim_complete(Conn& conn, std::size_t idx);
+  void close_fragment(Conn& conn, std::size_t idx);
+  void branch_tail_sent(Conn& conn, std::size_t idx);
+  [[nodiscard]] bool branch_byte_available(const Conn& conn, std::size_t idx) const;
+  TxByte branch_take(Conn& conn, std::size_t idx);
+  void after_body_take(Conn& conn);
+  void consume_prefix(Conn& conn);
+  void kick_all(Conn& conn);
+  void periodic_check(InPort* key);
+  void watch_for_flush(SwitchRt* sw, InPort* in, PortId out);
+  void finish(Conn& conn);
+  [[nodiscard]] std::int64_t min_body_taken(const Conn& conn) const;
+  [[nodiscard]] bool any_branch_stopped(const Conn& conn) const;
+
+  Simulator& sim_;
+  const Topology& topo_;
+  const UpDownRouting& routing_;
+  SwitchMcastConfig config_;
+  FlushHandler flush_handler_;
+  std::unordered_map<InPort*, std::unique_ptr<Conn>> conns_;
+  std::int64_t connections_ = 0;
+  std::int64_t fragments_ = 0;
+  std::int64_t flushed_ = 0;
+};
+
+}  // namespace wormcast

@@ -1,0 +1,271 @@
+#include "net/switch_rt.h"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "net/switch_mcast.h"
+#include "net/topology.h"
+
+namespace wormcast {
+
+InPort::InPort(SwitchRt& sw, PortId port) : sw_(sw), port_(port) {}
+
+void InPort::on_head(const WormPtr& worm, std::int64_t wire_len) {
+  assert(wire_len >= 2 && "worm must carry at least payload + trailer");
+  rx_queue_.push_back(RxWorm{worm, wire_len, 1, false});
+  ++buffered_;
+  if (buffered_ > sw_.slack_capacity(port_)) sw_.note_overflow();
+  check_stop();
+  if (rx_queue_.size() == 1) begin_routing();
+}
+
+void InPort::on_body(bool tail) {
+  assert(!rx_queue_.empty());
+  RxWorm& rx = rx_queue_.back();
+  ++rx.received;
+  if (tail) rx.tail_seen = true;
+  if (rx.discard) {
+    // Flushed worm: swallow the byte. When fully drained and it is still
+    // the front, retire it.
+    if (tail && &rx == &rx_queue_.front()) {
+      rx_queue_.pop_front();
+      if (!rx_queue_.empty()) begin_routing();
+    }
+    return;
+  }
+  ++buffered_;
+  if (buffered_ > sw_.slack_capacity(port_)) sw_.note_overflow();
+  check_stop();
+  if (connected_ && &rx == &rx_queue_.front()) {
+    sw_.out_port(out_port_).channel->kick();
+  } else if (mcast_active_ && &rx == &rx_queue_.front()) {
+    sw_.mcast_engine()->on_input_bytes(*this);
+  }
+}
+
+void InPort::begin_routing() {
+  assert(!rx_queue_.empty() && !rx_queue_.front().routed);
+  sw_.sim().after(sw_.config().routing_latency, [this] { do_route(); });
+}
+
+void InPort::do_route() {
+  assert(!rx_queue_.empty());
+  RxWorm& front = rx_queue_.front();
+  assert(!front.routed);
+  front.routed = true;
+  // The route byte is consumed (stripped) by the routing decision.
+  --buffered_;
+  after_byte_removed();
+
+  if (front.worm->kind == WormKind::kSwitchMcast &&
+      front.worm->route_offset >= front.worm->route.size()) {
+    // Tree-encoded multicast, or a broadcast worm that has finished its
+    // climb to the flood point: hand over to the multicast engine.
+    McastEngine* engine = sw_.mcast_engine();
+    if (engine == nullptr)
+      throw std::logic_error("switch-level multicast worm but no engine installed");
+    mcast_active_ = true;
+    engine->start(*this);
+    return;
+  }
+
+  // Unicast forwarding (also the climb phase of a broadcast worm).
+  const SourceRoute& route = front.worm->route;
+  assert(front.worm->route_offset < route.size() && "source route exhausted");
+  const PortId out = route.at(front.worm->route_offset++);
+  assert(out >= 0 && out < static_cast<PortId>(sw_.n_ports()));
+  sw_.request_output(*this, out);
+}
+
+bool InPort::byte_available() const {
+  if (!connected_ || rx_queue_.empty()) return false;
+  return front_available() > 0;
+}
+
+std::int64_t InPort::front_available() const {
+  const RxWorm& front = rx_queue_.front();
+  return (front.received - 1) - forwarded_;
+}
+
+TxByte InPort::take_byte() {
+  assert(byte_available());
+  RxWorm& front = rx_queue_.front();
+  TxByte b;
+  b.head = (forwarded_ == 0);
+  if (b.head) {
+    b.worm = front.worm;
+    b.wire_len = front.wire_len - 1;  // route byte stripped at this switch
+  }
+  ++forwarded_;
+  // Framing is tail-driven: the incoming tail symbol is authoritative (the
+  // declared wire length is advisory — scheme (b) fragments end early).
+  b.tail = front.tail_seen && (forwarded_ == front.received - 1);
+  --buffered_;
+  after_byte_removed();
+  sw_.out_port(out_port_).last_data_byte = sw_.sim().now();
+  return b;
+}
+
+void InPort::on_tail_sent() {
+  assert(connected_ && !rx_queue_.empty());
+  assert(rx_queue_.front().tail_seen);
+  rx_queue_.pop_front();
+  connected_ = false;
+  const PortId done = out_port_;
+  out_port_ = kNoPort;
+  forwarded_ = 0;
+  sw_.release_output(done);
+  if (!rx_queue_.empty()) begin_routing();
+}
+
+void InPort::granted(PortId out_port) {
+  assert(!connected_);
+  connected_ = true;
+  out_port_ = out_port;
+  forwarded_ = 0;
+}
+
+void InPort::mcast_consume() {
+  --buffered_;
+  after_byte_removed();
+}
+
+void InPort::flush_front() {
+  assert(!rx_queue_.empty());
+  RxWorm& front = rx_queue_.front();
+  assert(front.routed && !connected_ && !mcast_active_ &&
+         "can only flush a worm waiting for an output");
+  front.worm->flushed = true;
+  // Drop the bytes already buffered; the rest of the worm drains out of the
+  // network as it arrives and is swallowed byte by byte.
+  const std::int64_t held = front.received - 1;  // route byte already consumed
+  buffered_ -= held;
+  after_byte_removed();
+  if (front.tail_seen) {
+    rx_queue_.pop_front();
+    if (!rx_queue_.empty()) begin_routing();
+  } else {
+    front.discard = true;
+  }
+}
+
+void InPort::mcast_finish_front() {
+  assert(mcast_active_ && !rx_queue_.empty());
+  rx_queue_.pop_front();
+  mcast_active_ = false;
+  if (!rx_queue_.empty()) begin_routing();
+}
+
+void InPort::after_byte_removed() {
+  if (stop_sent_ && buffered_ <= sw_.config().go_threshold) {
+    stop_sent_ = false;
+    sw_.in_channel(port_)->signal_go();
+  }
+}
+
+void InPort::check_stop() {
+  if (!stop_sent_ && buffered_ >= sw_.config().stop_threshold) {
+    stop_sent_ = true;
+    sw_.in_channel(port_)->signal_stop();
+  }
+}
+
+// --- SwitchRt ---------------------------------------------------------------
+
+SwitchRt::SwitchRt(Simulator& sim, NodeId node, int n_ports, SwitchConfig config)
+    : sim_(sim), node_(node), config_(config) {
+  if (config_.go_threshold >= config_.stop_threshold)
+    throw std::logic_error("GO threshold must be below STOP threshold");
+  in_ports_.reserve(static_cast<std::size_t>(n_ports));
+  for (PortId p = 0; p < n_ports; ++p)
+    in_ports_.push_back(std::make_unique<InPort>(*this, p));
+  out_ports_.resize(static_cast<std::size_t>(n_ports));
+  in_channels_.resize(static_cast<std::size_t>(n_ports), nullptr);
+}
+
+SwitchRt::~SwitchRt() = default;
+
+void SwitchRt::set_channels(PortId p, Channel* in, Channel* out) {
+  in_channels_[p] = in;
+  out_ports_[p].channel = out;
+  in->set_sink(in_ports_[p].get());
+}
+
+RxSink* SwitchRt::sink(PortId p) { return in_ports_[p].get(); }
+
+void SwitchRt::request_output(InPort& in, PortId out) {
+  OutPort& op = out_ports_[out];
+  if (!op.busy && !op.held_by_mcast) {
+    op.busy = true;
+    in.granted(out);
+    op.channel->attach_feed(&in);
+    return;
+  }
+  if (op.held_by_mcast && mcast_engine_ != nullptr &&
+      mcast_engine_->maybe_flush_unicast(*this, in, out)) {
+    return;  // the unicast was flushed; nothing to queue
+  }
+  op.waiters.push_back(&in);
+}
+
+void SwitchRt::grant_next(PortId out) {
+  OutPort& op = out_ports_[out];
+  if (op.busy || op.held_by_mcast) return;
+  // Multicast branches re-acquire first (they resume an in-flight worm).
+  if (!op.mcast_waiters.empty()) {
+    auto claim = std::move(op.mcast_waiters.front());
+    op.mcast_waiters.pop_front();
+    op.held_by_mcast = true;
+    claim();
+    return;
+  }
+  if (op.waiters.empty()) return;
+  InPort* next = op.waiters.front();
+  op.waiters.pop_front();
+  op.busy = true;
+  next->granted(out);
+  op.channel->attach_feed(next);
+}
+
+void SwitchRt::release_output(PortId out) {
+  OutPort& op = out_ports_[out];
+  assert(op.busy);
+  op.busy = false;
+  grant_next(out);
+}
+
+bool SwitchRt::claim_output_for_mcast(PortId out, std::function<void()> on_free) {
+  OutPort& op = out_ports_[out];
+  if (!op.busy && !op.held_by_mcast) {
+    op.held_by_mcast = true;
+    return true;
+  }
+  op.mcast_waiters.push_back(std::move(on_free));
+  return false;
+}
+
+void SwitchRt::release_mcast_output(PortId out) {
+  OutPort& op = out_ports_[out];
+  assert(op.held_by_mcast);
+  op.held_by_mcast = false;
+  grant_next(out);
+}
+
+bool SwitchRt::cancel_request(InPort& in, PortId out) {
+  auto& waiters = out_ports_[out].waiters;
+  for (auto it = waiters.begin(); it != waiters.end(); ++it) {
+    if (*it == &in) {
+      waiters.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::int64_t SwitchRt::slack_capacity(PortId p) const {
+  const Channel* in = in_channels_[p];
+  const Time delay = in != nullptr ? in->delay() : kDefaultLinkDelay;
+  return config_.stop_threshold + 2 * delay + 4;
+}
+
+}  // namespace wormcast

@@ -1,0 +1,200 @@
+// Runtime model of one crossbar switch.
+//
+// Input ports own slack buffers with STOP/GO thresholds (Figure 1); output
+// ports arbitrate among blocked inputs in FIFO order (Myrinet's round-robin
+// of blocked worms). A worm's head byte is consumed at the input port to
+// select the output (source routing); the worm then holds the input→output
+// crossbar connection until its tail passes.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "net/channel.h"
+#include "net/worm.h"
+#include "sim/simulator.h"
+#include "sim/types.h"
+
+namespace wormcast {
+
+class SwitchRt;
+class McastEngine;
+
+/// Per-switch flow-control and timing parameters.
+struct SwitchConfig {
+  /// Slack-buffer occupancy at which STOP is sent upstream (K_s, Figure 1).
+  std::int64_t stop_threshold = 24;
+  /// Occupancy at which GO re-opens the upstream transmitter (K_g).
+  std::int64_t go_threshold = 8;
+  /// Head routing/arbitration latency in byte-times.
+  Time routing_latency = 4;
+};
+
+/// One switch input port: slack buffer plus forwarding state machine.
+class InPort final : public RxSink, public ByteFeed {
+ public:
+  InPort(SwitchRt& sw, PortId port);
+
+  // RxSink — bytes arriving from the upstream channel.
+  void on_head(const WormPtr& worm, std::int64_t wire_len) override;
+  void on_body(bool tail) override;
+
+  // ByteFeed — bytes leaving through the connected output channel.
+  [[nodiscard]] bool byte_available() const override;
+  TxByte take_byte() override;
+  void on_tail_sent() override;
+
+  [[nodiscard]] PortId port() const { return port_; }
+  [[nodiscard]] std::int64_t buffered() const { return buffered_; }
+  [[nodiscard]] bool stop_sent() const { return stop_sent_; }
+  /// Worms queued in this port (front one may be mid-forward).
+  [[nodiscard]] std::size_t worms_pending() const { return rx_queue_.size(); }
+  /// Bytes of the front worm available to forward right now.
+  [[nodiscard]] std::int64_t front_available() const;
+  [[nodiscard]] const WormPtr& front_worm() const { return rx_queue_.front().worm; }
+
+  /// Called by the output port when this input wins arbitration.
+  void granted(PortId out_port);
+
+  /// Consumes one buffered byte on behalf of a multicast connection (the
+  /// multicast engine forwards to several outputs at once and manages its
+  /// own pacing).
+  void mcast_consume();
+  /// Completes the front worm for the multicast engine (all branches done).
+  void mcast_finish_front();
+  /// Bytes of the front worm that have arrived (head included) and its
+  /// declared wire length; used by the multicast engine for pacing.
+  [[nodiscard]] std::int64_t front_received() const {
+    return rx_queue_.front().received;
+  }
+  [[nodiscard]] std::int64_t front_wire_len() const {
+    return rx_queue_.front().wire_len;
+  }
+  /// True once the front worm's tail symbol has arrived (authoritative
+  /// length: front_received() is then final).
+  [[nodiscard]] bool front_tail_seen() const {
+    return rx_queue_.front().tail_seen;
+  }
+  /// The switch this port belongs to.
+  [[nodiscard]] SwitchRt& owner() { return sw_; }
+
+  /// Flushes the front worm (scheme (c), Section 3): it is discarded here —
+  /// never forwarded — and drains out of the network as its remaining bytes
+  /// arrive. Pre: the front worm is routed but has no output connection.
+  void flush_front();
+
+ private:
+  struct RxWorm {
+    WormPtr worm;
+    std::int64_t wire_len = 0;  // declared length (advisory for fragments)
+    std::int64_t received = 0;  // bytes arrived so far (head included)
+    bool routed = false;        // routing decision issued
+    bool tail_seen = false;     // tail symbol arrived (authoritative framing)
+    bool discard = false;       // flushed: swallow remaining bytes
+  };
+
+  void begin_routing();
+  void do_route();
+  void after_byte_removed();
+  void check_stop();
+
+  SwitchRt& sw_;
+  PortId port_;
+  std::deque<RxWorm> rx_queue_;
+  std::int64_t buffered_ = 0;  // bytes held in the slack buffer
+  bool stop_sent_ = false;
+
+  // Forwarding state for the front worm (unicast connection).
+  bool connected_ = false;
+  PortId out_port_ = kNoPort;
+  std::int64_t forwarded_ = 0;  // bytes sent downstream for the front worm
+  // True while the front worm is owned by the switch-level multicast engine.
+  bool mcast_active_ = false;
+};
+
+/// One switch output port: the downstream channel plus its wait queue.
+struct OutPort {
+  Channel* channel = nullptr;
+  bool busy = false;
+  std::deque<InPort*> waiters;
+  /// Set while a switch-level multicast branch holds this port.
+  bool held_by_mcast = false;
+  /// Multicast branches waiting for the port; served before unicast
+  /// waiters (invoked to claim the port when it frees).
+  std::deque<std::function<void()>> mcast_waiters;
+  /// Time at which the port last moved a data byte (multicast-IDLE
+  /// detection, Section 3 scheme (c)).
+  Time last_data_byte = 0;
+};
+
+/// The crossbar switch proper.
+class SwitchRt {
+ public:
+  SwitchRt(Simulator& sim, NodeId node, int n_ports, SwitchConfig config);
+  SwitchRt(const SwitchRt&) = delete;
+  SwitchRt& operator=(const SwitchRt&) = delete;
+  ~SwitchRt();
+
+  /// Wires port p's channels. Must be called for every port before run.
+  void set_channels(PortId p, Channel* in, Channel* out);
+
+  /// Input port p as a receiver sink (for Fabric wiring).
+  [[nodiscard]] RxSink* sink(PortId p);
+
+  /// Requests `out` for `in`; grants immediately if free, else queues.
+  void request_output(InPort& in, PortId out);
+  /// Releases `out` and grants the next waiter, if any.
+  void release_output(PortId out);
+  /// Abandons a pending (not yet granted) request. Returns true if the
+  /// request was found and removed.
+  bool cancel_request(InPort& in, PortId out);
+  /// True while `in` is queued waiting for `out`.
+  [[nodiscard]] bool is_waiting(const InPort& in, PortId out) const {
+    const auto& w = out_ports_[out].waiters;
+    return std::find(w.begin(), w.end(), &in) != w.end();
+  }
+
+  /// Multicast-branch port management (switch-level multicast engine):
+  /// claims the port now (returns true) or queues `on_free` to be invoked
+  /// when the port becomes available.
+  bool claim_output_for_mcast(PortId out, std::function<void()> on_free);
+  /// Releases a port held by a multicast branch.
+  void release_mcast_output(PortId out);
+  /// Hands a free port to the next waiter (multicast branches first).
+  void grant_next(PortId out);
+
+  [[nodiscard]] Simulator& sim() { return sim_; }
+  [[nodiscard]] NodeId node() const { return node_; }
+  [[nodiscard]] const SwitchConfig& config() const { return config_; }
+  [[nodiscard]] int n_ports() const { return static_cast<int>(out_ports_.size()); }
+  [[nodiscard]] OutPort& out_port(PortId p) { return out_ports_[p]; }
+  [[nodiscard]] InPort& in_port(PortId p) { return *in_ports_[p]; }
+  [[nodiscard]] Channel* in_channel(PortId p) { return in_channels_[p]; }
+
+  /// Installs the switch-level multicast engine (nullptr = multicast worms
+  /// are a protocol error at this switch).
+  void set_mcast_engine(McastEngine* engine) { mcast_engine_ = engine; }
+  [[nodiscard]] McastEngine* mcast_engine() { return mcast_engine_; }
+
+  /// Slack-buffer overflow accounting (should stay zero when thresholds
+  /// and capacities are consistent; tests assert on it).
+  void note_overflow() { ++overflows_; }
+  [[nodiscard]] std::int64_t overflows() const { return overflows_; }
+  [[nodiscard]] std::int64_t slack_capacity(PortId p) const;
+
+ private:
+  Simulator& sim_;
+  NodeId node_;
+  SwitchConfig config_;
+  std::vector<std::unique_ptr<InPort>> in_ports_;
+  std::vector<OutPort> out_ports_;
+  std::vector<Channel*> in_channels_;
+  McastEngine* mcast_engine_ = nullptr;
+  std::int64_t overflows_ = 0;
+};
+
+}  // namespace wormcast

@@ -1,0 +1,143 @@
+#include "net/topologies.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace wormcast {
+
+Topology make_torus(int rows, int cols, int hosts_per_switch, Time link_delay,
+                    Time host_link_delay) {
+  if (rows < 2 || cols < 2) throw std::invalid_argument("torus needs >= 2x2");
+  Topology t;
+  std::vector<NodeId> sw(static_cast<std::size_t>(rows * cols));
+  for (int r = 0; r < rows; ++r)
+    for (int c = 0; c < cols; ++c)
+      sw[static_cast<std::size_t>(r * cols + c)] =
+          t.add_switch("sw" + std::to_string(r) + "_" + std::to_string(c));
+  const auto at = [&](int r, int c) {
+    return sw[static_cast<std::size_t>(((r + rows) % rows) * cols +
+                                       (c + cols) % cols)];
+  };
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      // Right and down neighbours; wrap-around covered by modular indexing.
+      // A 2-wide dimension would create duplicate links, so guard it.
+      if (cols > 2 || c + 1 < cols) t.connect(at(r, c), at(r, c + 1), link_delay);
+      if (rows > 2 || r + 1 < rows) t.connect(at(r, c), at(r + 1, c), link_delay);
+    }
+  }
+  for (int r = 0; r < rows; ++r)
+    for (int c = 0; c < cols; ++c)
+      for (int h = 0; h < hosts_per_switch; ++h)
+        t.connect(t.add_host(), at(r, c), host_link_delay);
+  t.validate();
+  return t;
+}
+
+Topology make_bidir_shufflenet(int p, int k, Time link_delay,
+                               Time host_link_delay) {
+  if (p < 2 || k < 1) throw std::invalid_argument("shufflenet needs p>=2, k>=1");
+  const int col_size = static_cast<int>(std::pow(p, k));
+  Topology t;
+  std::vector<std::vector<NodeId>> sw(static_cast<std::size_t>(k));
+  for (int c = 0; c < k; ++c)
+    for (int r = 0; r < col_size; ++r)
+      sw[static_cast<std::size_t>(c)].push_back(
+          t.add_switch("sw" + std::to_string(c) + "_" + std::to_string(r)));
+  // Perfect-shuffle links from column c to column (c+1) mod k. Collapse
+  // duplicate pairs (possible when k == 1) into a single full-duplex link.
+  std::set<std::pair<NodeId, NodeId>> made;
+  for (int c = 0; c < k; ++c) {
+    for (int r = 0; r < col_size; ++r) {
+      for (int d = 0; d < p; ++d) {
+        const int r2 = (r * p + d) % col_size;
+        NodeId a = sw[static_cast<std::size_t>(c)][static_cast<std::size_t>(r)];
+        NodeId b = sw[static_cast<std::size_t>((c + 1) % k)]
+                     [static_cast<std::size_t>(r2)];
+        if (a == b) continue;
+        const auto key = std::minmax(a, b);
+        if (!made.insert({key.first, key.second}).second) continue;
+        t.connect(a, b, link_delay);
+      }
+    }
+  }
+  for (int c = 0; c < k; ++c)
+    for (int r = 0; r < col_size; ++r)
+      t.connect(t.add_host(),
+                sw[static_cast<std::size_t>(c)][static_cast<std::size_t>(r)],
+                host_link_delay);
+  t.validate();
+  return t;
+}
+
+Topology make_myrinet_testbed(Time link_delay, Time host_link_delay) {
+  Topology t;
+  std::vector<NodeId> sw;
+  for (int i = 0; i < 4; ++i) sw.push_back(t.add_switch());
+  for (int i = 0; i + 1 < 4; ++i) t.connect(sw[i], sw[i + 1], link_delay);
+  for (int h = 0; h < 8; ++h) t.connect(t.add_host(), sw[h / 2], host_link_delay);
+  t.validate();
+  return t;
+}
+
+Topology make_star(int n_hosts, Time link_delay) {
+  if (n_hosts < 1) throw std::invalid_argument("star needs >= 1 host");
+  Topology t;
+  const NodeId hub = t.add_switch("hub");
+  for (int h = 0; h < n_hosts; ++h) t.connect(t.add_host(), hub, link_delay);
+  t.validate();
+  return t;
+}
+
+Topology make_line(int n_switches, Time link_delay, Time host_link_delay) {
+  if (n_switches < 1) throw std::invalid_argument("line needs >= 1 switch");
+  Topology t;
+  std::vector<NodeId> sw;
+  for (int i = 0; i < n_switches; ++i) sw.push_back(t.add_switch());
+  for (int i = 0; i + 1 < n_switches; ++i)
+    t.connect(sw[i], sw[i + 1], link_delay);
+  for (int i = 0; i < n_switches; ++i) t.connect(t.add_host(), sw[i], host_link_delay);
+  t.validate();
+  return t;
+}
+
+Topology make_random_mesh(int n_switches, double degree, RandomStream& rng,
+                          Time link_delay) {
+  if (n_switches < 2) throw std::invalid_argument("mesh needs >= 2 switches");
+  Topology t;
+  std::vector<NodeId> sw;
+  for (int i = 0; i < n_switches; ++i) sw.push_back(t.add_switch());
+  std::set<std::pair<NodeId, NodeId>> made;
+  // Random spanning tree: attach each switch to a random earlier one.
+  for (int i = 1; i < n_switches; ++i) {
+    const auto j = static_cast<int>(rng.uniform(0, i - 1));
+    t.connect(sw[static_cast<std::size_t>(j)], sw[static_cast<std::size_t>(i)],
+              link_delay);
+    made.insert({sw[static_cast<std::size_t>(std::min(i, j))],
+                 sw[static_cast<std::size_t>(std::max(i, j))]});
+  }
+  // Extra cross links up to the requested average degree.
+  const auto target_links =
+      static_cast<std::int64_t>(degree * n_switches / 2.0);
+  std::int64_t extra = target_links - (n_switches - 1);
+  int attempts = n_switches * n_switches;
+  while (extra > 0 && attempts-- > 0) {
+    const auto a = static_cast<std::size_t>(rng.uniform(0, n_switches - 1));
+    const auto b = static_cast<std::size_t>(rng.uniform(0, n_switches - 1));
+    if (a == b) continue;
+    const auto key = std::minmax(sw[a], sw[b]);
+    if (!made.insert({key.first, key.second}).second) continue;
+    t.connect(sw[a], sw[b], link_delay);
+    --extra;
+  }
+  for (int i = 0; i < n_switches; ++i)
+    t.connect(t.add_host(), sw[static_cast<std::size_t>(i)], link_delay);
+  t.validate();
+  return t;
+}
+
+}  // namespace wormcast

@@ -1,0 +1,45 @@
+// Generators for the topologies used in the paper's evaluation, plus a few
+// generic shapes for tests and examples.
+#pragma once
+
+#include <cstdint>
+
+#include "net/topology.h"
+#include "sim/random.h"
+#include "sim/types.h"
+
+namespace wormcast {
+
+/// k-ary 2-D torus of switches (rows x cols), `hosts_per_switch` hosts on
+/// each switch. Figure 10 uses make_torus(8, 8, 1).
+Topology make_torus(int rows, int cols, int hosts_per_switch = 1,
+                    Time link_delay = kDefaultLinkDelay,
+                    Time host_link_delay = kDefaultLinkDelay);
+
+/// Bidirectional (p, k) shufflenet: k columns of p^k switches; switch
+/// (c, r) links to ((c+1) mod k, r*p + d mod p^k) for d in [0, p); links are
+/// full duplex (the "bidirectional" of [PLG95]). One host per switch.
+/// Figure 11 uses make_bidir_shufflenet(2, 3, ...): 24 nodes.
+Topology make_bidir_shufflenet(int p, int k,
+                               Time link_delay = kDefaultLinkDelay,
+                               Time host_link_delay = kDefaultLinkDelay);
+
+/// The measurement testbed of Section 8.2: four switches in a line, eight
+/// hosts (two per switch).
+Topology make_myrinet_testbed(Time link_delay = kDefaultLinkDelay,
+                              Time host_link_delay = kDefaultLinkDelay);
+
+/// A single switch with n hosts (degenerate star; useful in unit tests).
+Topology make_star(int n_hosts, Time link_delay = kDefaultLinkDelay);
+
+/// A line of n switches, one host each.
+Topology make_line(int n_switches, Time link_delay = kDefaultLinkDelay,
+                   Time host_link_delay = kDefaultLinkDelay);
+
+/// Random connected mesh: n switches, one host each, average switch degree
+/// ~degree (a spanning tree plus random extra links). Used by property
+/// tests to exercise routing on irregular LAN topologies.
+Topology make_random_mesh(int n_switches, double degree, RandomStream& rng,
+                          Time link_delay = kDefaultLinkDelay);
+
+}  // namespace wormcast

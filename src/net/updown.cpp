@@ -1,0 +1,179 @@
+#include "net/updown.h"
+
+#include <algorithm>
+#include <array>
+#include <queue>
+#include <stdexcept>
+#include <utility>
+
+namespace wormcast {
+
+UpDownRouting::UpDownRouting(const Topology& topo, Options opts)
+    : topo_(topo), tree_links_only_(opts.tree_links_only) {
+  // Root: requested, or the highest-degree switch (lowest id on ties).
+  root_ = opts.root;
+  if (root_ == kNoNode) {
+    std::size_t best_degree = 0;
+    for (NodeId n = 0; n < topo_.num_nodes(); ++n) {
+      if (topo_.node(n).kind != NodeKind::kSwitch) continue;
+      if (root_ == kNoNode || topo_.node(n).ports.size() > best_degree) {
+        root_ = n;
+        best_degree = topo_.node(n).ports.size();
+      }
+    }
+  }
+  if (root_ == kNoNode || topo_.node(root_).kind != NodeKind::kSwitch)
+    throw std::logic_error("up/down routing requires a switch root");
+
+  // BFS levels from the root.
+  levels_.assign(static_cast<std::size_t>(topo_.num_nodes()), -1);
+  on_tree_.assign(static_cast<std::size_t>(topo_.num_links()), false);
+  std::queue<NodeId> frontier;
+  levels_[root_] = 0;
+  frontier.push(root_);
+  while (!frontier.empty()) {
+    const NodeId n = frontier.front();
+    frontier.pop();
+    for (const TopoPort& p : topo_.node(n).ports) {
+      const NodeId m = topo_.peer(p.link, n);
+      if (levels_[m] == -1) {
+        levels_[m] = levels_[n] + 1;
+        on_tree_[p.link] = true;
+        frontier.push(m);
+      }
+    }
+  }
+  for (int lv : levels_)
+    if (lv == -1) throw std::logic_error("topology disconnected from root");
+
+  // Up/down labels: the up end is the endpoint with the smaller level;
+  // node id breaks ties (lower id counts as higher in the tree).
+  up_end_.assign(static_cast<std::size_t>(topo_.num_links()), kNoNode);
+  for (LinkId l = 0; l < topo_.num_links(); ++l) {
+    const TopoLink& lk = topo_.link(l);
+    const int la = levels_[lk.node_a];
+    const int lb = levels_[lk.node_b];
+    if (la != lb)
+      up_end_[l] = la < lb ? lk.node_a : lk.node_b;
+    else
+      up_end_[l] = std::min(lk.node_a, lk.node_b);
+  }
+}
+
+UpDownRouting::PathResult UpDownRouting::shortest_legal_path(NodeId from_sw,
+                                                             NodeId to_sw) const {
+  // BFS over (node, phase): phase 0 = may still go up; phase 1 = has gone
+  // down (only down traversals remain legal). Deterministic neighbour order
+  // (port index) fixes one path per pair.
+  const auto n_nodes = static_cast<std::size_t>(topo_.num_nodes());
+  struct Pred {
+    NodeId node = kNoNode;
+    int phase = -1;
+    LinkId link = kNoLink;
+  };
+  std::vector<std::array<int, 2>> dist(n_nodes, {-1, -1});
+  std::vector<std::array<Pred, 2>> pred(n_nodes);
+  std::queue<std::pair<NodeId, int>> frontier;
+  dist[from_sw][0] = 0;
+  frontier.push({from_sw, 0});
+  while (!frontier.empty()) {
+    const auto [n, ph] = frontier.front();
+    frontier.pop();
+    for (const TopoPort& p : topo_.node(n).ports) {
+      const LinkId l = p.link;
+      if (tree_links_only_ && !on_tree_[l]) continue;
+      const NodeId m = topo_.peer(l, n);
+      if (topo_.node(m).kind != NodeKind::kSwitch) continue;  // hosts are leaves
+      const bool up = is_up_traversal(l, n);
+      if (up && ph == 1) continue;  // down->up is illegal
+      const int nph = up ? 0 : 1;
+      if (dist[m][nph] != -1) continue;
+      dist[m][nph] = dist[n][ph] + 1;
+      pred[m][nph] = Pred{n, ph, l};
+      frontier.push({m, nph});
+    }
+  }
+  int end_phase = -1;
+  if (dist[to_sw][0] != -1 &&
+      (dist[to_sw][1] == -1 || dist[to_sw][0] <= dist[to_sw][1]))
+    end_phase = 0;
+  else if (dist[to_sw][1] != -1)
+    end_phase = 1;
+  if (from_sw == to_sw) end_phase = 0;
+  if (end_phase == -1) throw std::logic_error("no legal up/down path");
+
+  PathResult out;
+  NodeId n = to_sw;
+  int ph = end_phase;
+  while (!(n == from_sw && dist[n][ph] == 0)) {
+    const Pred& pr = pred[n][ph];
+    out.nodes.push_back(n);
+    out.links.push_back(pr.link);
+    n = pr.node;
+    ph = pr.phase;
+  }
+  out.nodes.push_back(from_sw);
+  std::reverse(out.nodes.begin(), out.nodes.end());
+  std::reverse(out.links.begin(), out.links.end());
+  return out;
+}
+
+SourceRoute UpDownRouting::path_to_route(HostId src, const PathResult& path,
+                                         NodeId final_dest_node) const {
+  (void)src;
+  std::vector<PortId> ports;
+  ports.reserve(path.links.size() + 1);
+  for (std::size_t i = 0; i < path.links.size(); ++i)
+    ports.push_back(topo_.port_on(path.links[i], path.nodes[i]));
+  // Last switch: exit toward the destination host.
+  const NodeId last_sw = path.nodes.back();
+  const TopoNode& dest = topo_.node(final_dest_node);
+  ports.push_back(topo_.port_on(dest.ports[0].link, last_sw));
+  return SourceRoute(std::move(ports));
+}
+
+SourceRoute UpDownRouting::route(HostId src, HostId dst) const {
+  if (src == dst) throw std::logic_error("route to self");
+  const NodeId from_sw = topo_.switch_of_host(src);
+  const NodeId to_sw = topo_.switch_of_host(dst);
+  const PathResult path = shortest_legal_path(from_sw, to_sw);
+  return path_to_route(src, path, topo_.node_of_host(dst));
+}
+
+int UpDownRouting::hop_count(HostId src, HostId dst) const {
+  if (src == dst) return 0;
+  const NodeId from_sw = topo_.switch_of_host(src);
+  const NodeId to_sw = topo_.switch_of_host(dst);
+  const PathResult path = shortest_legal_path(from_sw, to_sw);
+  // Host link out, switch-to-switch links, host link in.
+  return static_cast<int>(path.links.size()) + 2;
+}
+
+std::vector<NodeId> UpDownRouting::switch_path(HostId src, HostId dst) const {
+  const NodeId from_sw = topo_.switch_of_host(src);
+  const NodeId to_sw = topo_.switch_of_host(dst);
+  return shortest_legal_path(from_sw, to_sw).nodes;
+}
+
+std::vector<PortId> UpDownRouting::down_tree_ports(NodeId sw) const {
+  std::vector<PortId> out;
+  const TopoNode& node = topo_.node(sw);
+  for (std::size_t p = 0; p < node.ports.size(); ++p) {
+    const LinkId l = node.ports[p].link;
+    if (on_tree_[l] && up_end_[l] == sw) out.push_back(static_cast<PortId>(p));
+  }
+  return out;
+}
+
+SourceRoute UpDownRouting::route_to_root(HostId src) const {
+  const NodeId from_sw = topo_.switch_of_host(src);
+  if (from_sw == root_) return SourceRoute{};
+  const PathResult path = shortest_legal_path(from_sw, root_);
+  std::vector<PortId> ports;
+  ports.reserve(path.links.size());
+  for (std::size_t i = 0; i < path.links.size(); ++i)
+    ports.push_back(topo_.port_on(path.links[i], path.nodes[i]));
+  return SourceRoute(std::move(ports));
+}
+
+}  // namespace wormcast

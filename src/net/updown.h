@@ -1,0 +1,85 @@
+// Deadlock-free up/down routing (Autonet / Myrinet style, Section 2).
+//
+// A root switch is chosen and a BFS spanning tree computed. Every link
+// (tree link or cross link) is labelled: its "up" end is the endpoint
+// closer to the root, with node id breaking ties. A legal route traverses
+// zero or more up links followed by zero or more down links; this breaks
+// every circular wait and hence prevents fabric deadlock.
+#pragma once
+
+#include <vector>
+
+#include "net/source_route.h"
+#include "net/topology.h"
+#include "sim/types.h"
+
+namespace wormcast {
+
+struct UpDownOptions {
+  /// Root switch; kNoNode selects the highest-degree switch (lowest id on
+  /// ties), mimicking Autonet's preference for a central root.
+  NodeId root = kNoNode;
+  /// Restrict routes to spanning-tree links only (switch-level multicast
+  /// scheme 1 requires this of *all* worms; Section 3).
+  bool tree_links_only = false;
+};
+
+class UpDownRouting {
+ public:
+  using Options = UpDownOptions;
+
+  explicit UpDownRouting(const Topology& topo, Options opts = Options());
+
+  [[nodiscard]] NodeId root() const { return root_; }
+  /// BFS distance of a node from the root.
+  [[nodiscard]] int level(NodeId n) const { return levels_[n]; }
+  /// The endpoint of `l` that is "up" (closer to the root / lower id).
+  [[nodiscard]] NodeId up_end(LinkId l) const { return up_end_[l]; }
+  /// True if `l` belongs to the BFS spanning tree.
+  [[nodiscard]] bool on_tree(LinkId l) const { return on_tree_[l]; }
+  /// True if traversing `l` out of `from` moves toward the root.
+  [[nodiscard]] bool is_up_traversal(LinkId l, NodeId from) const {
+    return up_end_[l] != from;
+  }
+
+  /// Source route (switch output ports) from one host to another. The path
+  /// is the shortest legal up/down path, with deterministic tie-breaking,
+  /// so exactly one path per pair is ever used (as in the paper's
+  /// simulations). Throws if src == dst.
+  [[nodiscard]] SourceRoute route(HostId src, HostId dst) const;
+
+  /// Number of switch-to-switch hops on route(src, dst) plus host links;
+  /// the "hop count" metric used to weigh host-connectivity edges
+  /// (Section 5, Figure 8).
+  [[nodiscard]] int hop_count(HostId src, HostId dst) const;
+
+  /// Node path (switches only) underlying route(src, dst); for tests.
+  [[nodiscard]] std::vector<NodeId> switch_path(HostId src, HostId dst) const;
+
+  /// Port to take at `sw` to reach the root's direction is not meaningful
+  /// in general; what broadcast needs is the set of *down* tree links at a
+  /// switch. Returns output ports of `sw` that are tree links going down.
+  [[nodiscard]] std::vector<PortId> down_tree_ports(NodeId sw) const;
+
+  /// Source route from a host up to the root switch (used by the
+  /// root-serialized switch-level schemes).
+  [[nodiscard]] SourceRoute route_to_root(HostId src) const;
+
+ private:
+  struct PathResult {
+    std::vector<NodeId> nodes;  // sw path: switch sequence src_sw..dst_sw
+    std::vector<LinkId> links;  // links between consecutive switches
+  };
+  [[nodiscard]] PathResult shortest_legal_path(NodeId from_sw, NodeId to_sw) const;
+  [[nodiscard]] SourceRoute path_to_route(HostId src, const PathResult& path,
+                                          NodeId final_dest_node) const;
+
+  const Topology& topo_;
+  NodeId root_ = kNoNode;
+  bool tree_links_only_ = false;
+  std::vector<int> levels_;       // by NodeId
+  std::vector<NodeId> up_end_;    // by LinkId
+  std::vector<bool> on_tree_;     // by LinkId
+};
+
+}  // namespace wormcast

@@ -1,0 +1,125 @@
+// The unit of transfer in a wormhole network.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "net/source_route.h"
+#include "sim/types.h"
+
+namespace wormcast {
+
+/// What a worm carries. Control worms (ACK/NACK) are tiny unicast worms
+/// used by the host-adapter implicit-reservation protocol (Section 4).
+enum class WormKind : std::uint8_t {
+  kData,        // unicast payload, or one hop of a host-adapter multicast
+  kAck,         // reservation accepted by the successor adapter
+  kNack,        // reservation refused; sender retransmits after timeout
+  kSwitchMcast  // switch-level multicast worm (Section 3; tree-encoded route)
+};
+
+/// Control operations of the [VLB96] centralized credit scheme.
+enum class CreditOp : std::uint8_t {
+  kNone,     // an ordinary worm
+  kRequest,  // source -> manager: credits for one multicast, please
+  kGrant,    // manager -> source: go ahead (sequenced)
+  kToken,    // the circulating credit-gathering token
+};
+
+/// Multicast metadata carried in the worm header by the host-adapter
+/// schemes (Sections 4-6).
+struct McastHeader {
+  GroupId group = kNoGroup;
+  /// Remaining retransmissions on the Hamiltonian circuit; the originator
+  /// initializes it and each member decrements it (Section 5).
+  int hops_remaining = 0;
+  /// Buffer class to reserve at the next adapter: 0 before the host-ID
+  /// order reversal, 1 after (Section 4, Figure 7).
+  int buffer_class = 0;
+  /// Identifies the logical multicast message across all of its hop copies.
+  std::uint64_t message_id = 0;
+  /// Host that created the logical message.
+  HostId origin = kNoHost;
+  /// Sequence number stamped by the serializing host when total ordering is
+  /// enabled (lowest-ID member on the circuit; root on the tree).
+  std::int64_t seq = -1;
+  /// True while the message is being relayed to the serializer (lowest-ID /
+  /// root) and the multicast proper has not started yet.
+  bool relay_phase = false;
+  /// Credit-scheme control operation, if any.
+  CreditOp credit = CreditOp::kNone;
+};
+
+/// Shared bookkeeping for one logical message (unicast or multicast),
+/// common to every hop copy; the metric collectors hang observations off
+/// this. Copies hold it by shared_ptr.
+struct MessageContext {
+  std::uint64_t message_id = 0;
+  HostId origin = kNoHost;
+  GroupId group = kNoGroup;  // kNoGroup for unicast
+  Time created_at = 0;       // when the application generated the message
+  std::int64_t payload = 0;
+  int destinations_total = 0;
+  int destinations_reached = 0;
+};
+
+/// One worm on the wire: a single fabric traversal from a source adapter to
+/// a destination adapter (host-adapter multicasting re-wraps the payload in
+/// a fresh worm for each hop of the circuit/tree).
+///
+/// Wire-length accounting: at injection the worm occupies
+///   route bytes + header bytes + payload + 1 trailer (checksum)
+/// bytes on the link; every switch strips one route byte and appends a
+/// recomputed checksum, for a net loss of one byte per hop (Section 2).
+struct Worm {
+  WormId id = 0;
+  WormKind kind = WormKind::kData;
+  HostId src = kNoHost;
+  HostId dst = kNoHost;  // for kSwitchMcast this is kNoHost (tree route)
+
+  std::int64_t payload = 0;  // application bytes
+  std::int64_t header = 0;   // protocol header bytes beyond the route
+
+  SourceRoute route;               // unicast path (kData/kAck/kNack)
+  EncodedMcastRoute mcast_route;   // tree route (kSwitchMcast only)
+  std::size_t route_offset = 0;    // next route byte to consume (unicast)
+
+  /// Switch-level *broadcast* (Section 3, last paragraph): the worm climbs
+  /// `route` to the up/down root, then a broadcast marker makes every
+  /// switch flood it down the spanning tree's down links.
+  bool broadcast_flood = false;
+
+  /// Set when a unicast worm has been flushed by a multicast-IDLE port
+  /// (Section 3, scheme (c)): every holder discards its bytes and the
+  /// source retransmits after a random timeout.
+  bool flushed = false;
+
+  std::optional<McastHeader> mcast;
+  std::shared_ptr<MessageContext> message;
+  /// The credit-gathering token's per-host collected counts (the token's
+  /// "payload"; hosts add their freed credits as it passes).
+  std::shared_ptr<std::vector<std::int64_t>> token_counts;
+
+  Time created_at = 0;   // logical message creation time
+  Time injected_at = 0;  // when this copy's head entered the fabric
+
+  /// Wire length of this copy at injection (before any stripping).
+  /// Broadcast floods carry a unicast climb route plus one broadcast
+  /// marker byte consumed at the flood point.
+  [[nodiscard]] std::int64_t initial_wire_length() const {
+    std::int64_t route_bytes;
+    if (kind == WormKind::kSwitchMcast)
+      route_bytes = broadcast_flood
+                        ? static_cast<std::int64_t>(route.size()) + 1
+                        : static_cast<std::int64_t>(mcast_route.size_bytes());
+    else
+      route_bytes = static_cast<std::int64_t>(route.size());
+    return route_bytes + header + payload + 1;
+  }
+};
+
+using WormPtr = std::shared_ptr<Worm>;
+
+}  // namespace wormcast

@@ -1,0 +1,52 @@
+#include "sim/event_queue.h"
+
+#include <cassert>
+#include <utility>
+
+namespace wormcast {
+
+EventHandle EventQueue::schedule(Time when, Action action) {
+  const std::uint64_t seq = next_seq_++;
+  heap_.push(Entry{when, seq, std::move(action)});
+  pending_.insert(seq);
+  ++live_count_;
+  return EventHandle{seq};
+}
+
+void EventQueue::cancel(EventHandle handle) {
+  if (!handle.valid()) return;
+  if (pending_.erase(handle.seq_) == 0) return;  // already fired or cancelled
+  cancelled_.insert(handle.seq_);
+  --live_count_;
+}
+
+void EventQueue::drop_cancelled_head() {
+  while (!heap_.empty()) {
+    const auto it = cancelled_.find(heap_.top().seq);
+    if (it == cancelled_.end()) return;
+    cancelled_.erase(it);
+    heap_.pop();
+  }
+}
+
+Time EventQueue::next_time() const {
+  // const_cast-free variant: scan past cancelled entries without mutating.
+  // We accept the tiny cost of letting pop() do the real cleanup.
+  auto* self = const_cast<EventQueue*>(this);
+  self->drop_cancelled_head();
+  return heap_.empty() ? kTimeNever : heap_.top().time;
+}
+
+EventQueue::Popped EventQueue::pop() {
+  drop_cancelled_head();
+  assert(!heap_.empty() && "pop() on empty EventQueue");
+  // priority_queue::top() is const; move out via const_cast, then pop.
+  auto& top = const_cast<Entry&>(heap_.top());
+  Popped out{top.time, std::move(top.action)};
+  pending_.erase(top.seq);
+  heap_.pop();
+  --live_count_;
+  return out;
+}
+
+}  // namespace wormcast

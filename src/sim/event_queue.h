@@ -1,0 +1,77 @@
+// A cancellable discrete-event queue ordered by (time, insertion sequence).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace wormcast {
+
+/// Handle returned by EventQueue::schedule; can be used to cancel the event.
+/// Value-semantic and cheap to copy. A default-constructed handle is invalid.
+class EventHandle {
+ public:
+  EventHandle() = default;
+  [[nodiscard]] bool valid() const { return seq_ != 0; }
+
+ private:
+  friend class EventQueue;
+  explicit EventHandle(std::uint64_t seq) : seq_(seq) {}
+  std::uint64_t seq_ = 0;
+};
+
+/// Min-heap of timestamped callbacks. Events at equal times fire in
+/// insertion order, which makes runs fully deterministic.
+///
+/// Cancellation is lazy: cancelled events stay in the heap but are skipped
+/// when popped. This keeps schedule O(log n) and cancel O(1) amortized.
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  /// Schedules `action` at absolute time `when`.
+  EventHandle schedule(Time when, Action action);
+
+  /// Cancels a previously scheduled event. Cancelling an already-fired or
+  /// already-cancelled event is a harmless no-op.
+  void cancel(EventHandle handle);
+
+  [[nodiscard]] bool empty() const { return live_count_ == 0; }
+  [[nodiscard]] std::size_t size() const { return live_count_; }
+
+  /// Time of the earliest live event; kTimeNever when empty.
+  [[nodiscard]] Time next_time() const;
+
+  /// Removes and returns the earliest live event. Precondition: !empty().
+  struct Popped {
+    Time time = 0;
+    Action action;
+  };
+  Popped pop();
+
+ private:
+  struct Entry {
+    Time time = 0;
+    std::uint64_t seq = 0;
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      return a.time != b.time ? a.time > b.time : a.seq > b.seq;
+    }
+  };
+
+  void drop_cancelled_head();
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_set<std::uint64_t> cancelled_;
+  std::unordered_set<std::uint64_t> pending_;  // live (not yet fired) seqs
+  std::size_t live_count_ = 0;
+  std::uint64_t next_seq_ = 1;
+};
+
+}  // namespace wormcast

@@ -1,0 +1,65 @@
+// Deterministic random streams for workload generation.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <utility>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace wormcast {
+
+/// A seeded random stream. Every stochastic component owns its own stream
+/// (derived from the experiment seed) so that runs are reproducible and the
+/// draw order of one component cannot perturb another.
+class RandomStream {
+ public:
+  explicit RandomStream(std::uint64_t seed) : engine_(seed), seed_(seed) {}
+
+  /// Creates an independent child stream; deterministic in (seed, salt).
+  [[nodiscard]] RandomStream fork(std::uint64_t salt) const {
+    return RandomStream(seed_mix(seed_, salt));
+  }
+
+  /// Exponential inter-arrival gap with the given mean, rounded up to at
+  /// least 1 byte-time (Poisson worm generation, Section 7.1).
+  Time exp_interval(double mean);
+
+  /// Geometrically distributed worm length with the given mean, at least
+  /// `min_len` bytes (Section 7.1: "lengths were geometrically distributed").
+  std::int64_t geometric_length(double mean, std::int64_t min_len = 1);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform(std::int64_t lo, std::int64_t hi);
+
+  /// True with probability p.
+  bool chance(double p);
+
+  /// Uniformly selects one element of `items` (must be non-empty).
+  template <typename T>
+  const T& pick(const std::vector<T>& items) {
+    return items[static_cast<std::size_t>(
+        uniform(0, static_cast<std::int64_t>(items.size()) - 1))];
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      const auto j =
+          static_cast<std::size_t>(uniform(0, static_cast<std::int64_t>(i) - 1));
+      std::swap(items[i - 1], items[j]);
+    }
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  static std::uint64_t seed_mix(std::uint64_t a, std::uint64_t b);
+
+  std::mt19937_64 engine_;
+  std::uint64_t seed_ = 0;
+};
+
+}  // namespace wormcast

@@ -1,0 +1,36 @@
+#include "sim/simulator.h"
+
+#include <cassert>
+#include <utility>
+
+namespace wormcast {
+
+EventHandle Simulator::at(Time when, EventQueue::Action action) {
+  assert(when >= now_ && "scheduling into the past");
+  return queue_.schedule(when, std::move(action));
+}
+
+EventHandle Simulator::after(Time delay, EventQueue::Action action) {
+  assert(delay >= 0 && "negative delay");
+  return queue_.schedule(now_ + delay, std::move(action));
+}
+
+void Simulator::dispatch_one() {
+  auto [time, action] = queue_.pop();
+  assert(time >= now_);
+  now_ = time;
+  action();
+}
+
+void Simulator::run() {
+  stopped_ = false;
+  while (!stopped_ && !queue_.empty()) dispatch_one();
+}
+
+void Simulator::run_until(Time deadline) {
+  stopped_ = false;
+  while (!stopped_ && queue_.next_time() <= deadline) dispatch_one();
+  if (!stopped_ && now_ < deadline) now_ = deadline;
+}
+
+}  // namespace wormcast

@@ -1,0 +1,62 @@
+// The discrete-event simulation engine.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/event_queue.h"
+#include "sim/types.h"
+
+namespace wormcast {
+
+/// Discrete-event simulator with a byte-time clock.
+///
+/// Components schedule callbacks with `at` (absolute) or `after` (relative)
+/// and the engine fires them in timestamp order. The engine also maintains a
+/// global *progress counter* that components bump whenever payload moves;
+/// the DeadlockWatchdog uses it to distinguish "quiescent" from "deadlocked".
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  [[nodiscard]] Time now() const { return now_; }
+
+  /// Schedules `action` at absolute time `when >= now()`.
+  EventHandle at(Time when, EventQueue::Action action);
+
+  /// Schedules `action` at `now() + delay`, `delay >= 0`.
+  EventHandle after(Time delay, EventQueue::Action action);
+
+  void cancel(EventHandle handle) { queue_.cancel(handle); }
+
+  /// Runs until the queue drains or `stop()` is called.
+  void run();
+
+  /// Runs events with time <= `deadline`; the clock ends at `deadline`
+  /// (or at the stop point) even if the queue drained earlier.
+  void run_until(Time deadline);
+
+  /// Stops the run loop after the current event completes.
+  void stop() { stopped_ = true; }
+  [[nodiscard]] bool stopped() const { return stopped_; }
+
+  [[nodiscard]] bool idle() const { return queue_.empty(); }
+  [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+
+  /// Progress accounting: bumped by components when a byte of payload moves
+  /// anywhere in the network. Monotone; used for deadlock detection.
+  void note_progress(std::int64_t amount = 1) { progress_ += amount; }
+  [[nodiscard]] std::int64_t progress() const { return progress_; }
+
+ private:
+  void dispatch_one();
+
+  EventQueue queue_;
+  Time now_ = 0;
+  bool stopped_ = false;
+  std::int64_t progress_ = 0;
+};
+
+}  // namespace wormcast

@@ -1,0 +1,37 @@
+#include "traffic/groups.h"
+
+#include <stdexcept>
+
+namespace wormcast {
+
+std::vector<MulticastGroupSpec> make_random_groups(int n_groups, int group_size,
+                                                   int n_hosts,
+                                                   RandomStream& rng) {
+  if (group_size > n_hosts)
+    throw std::invalid_argument("group larger than host population");
+  std::vector<MulticastGroupSpec> out;
+  out.reserve(static_cast<std::size_t>(n_groups));
+  for (GroupId g = 0; g < n_groups; ++g) {
+    // Partial Fisher-Yates over the host list: first `group_size` entries.
+    std::vector<HostId> pool(static_cast<std::size_t>(n_hosts));
+    for (int h = 0; h < n_hosts; ++h) pool[static_cast<std::size_t>(h)] = h;
+    MulticastGroupSpec spec;
+    spec.id = g;
+    for (int i = 0; i < group_size; ++i) {
+      const auto j = static_cast<std::size_t>(rng.uniform(i, n_hosts - 1));
+      std::swap(pool[static_cast<std::size_t>(i)], pool[j]);
+      spec.members.push_back(pool[static_cast<std::size_t>(i)]);
+    }
+    out.push_back(std::move(spec));
+  }
+  return out;
+}
+
+MulticastGroupSpec make_full_group(int n_hosts, GroupId id) {
+  MulticastGroupSpec spec;
+  spec.id = id;
+  for (HostId h = 0; h < n_hosts; ++h) spec.members.push_back(h);
+  return spec;
+}
+
+}  // namespace wormcast

@@ -1,0 +1,29 @@
+// Multicast group membership (Section 7: groups are specified with the
+// topology; members are chosen at random).
+#pragma once
+
+#include <vector>
+
+#include "sim/random.h"
+#include "sim/types.h"
+
+namespace wormcast {
+
+struct MulticastGroupSpec {
+  GroupId id = kNoGroup;
+  std::vector<HostId> members;  // distinct hosts, any order
+};
+
+/// `n_groups` groups of `group_size` distinct members drawn uniformly from
+/// `n_hosts` hosts (hosts may belong to several groups). Deterministic in
+/// the stream state. Figure 10 uses 10 groups x 10 members on 64 hosts;
+/// Figure 11 uses 4 groups x 6 members on 24 hosts.
+std::vector<MulticastGroupSpec> make_random_groups(int n_groups, int group_size,
+                                                   int n_hosts,
+                                                   RandomStream& rng);
+
+/// One group containing every host (broadcast-style workloads and the
+/// Section 8.2 testbed measurements).
+MulticastGroupSpec make_full_group(int n_hosts, GroupId id = 0);
+
+}  // namespace wormcast

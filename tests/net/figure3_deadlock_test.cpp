@@ -1,0 +1,137 @@
+// The Figure 3 scenario: a switch-level multicast and a unicast deadlock
+// each other when multicast worms may leave the up/down spanning tree and
+// blocked branches idle-fill their paths (scheme (a) without the
+// tree-only restriction). Schemes (b) and (c) resolve the same scenario.
+//
+// Topology (switches A..E, one host each where needed):
+//
+//     mx - A --- B          multicast from mx: branch 1 A->B->E->b,
+//          |     |                             branch 2 A->C->D->d
+//          C --- D --- E - b
+//          |               (D--E long link so the unicast arrives at E
+//          u               after the multicast has claimed E->b)
+//
+// The unicast u->b takes C->D->E->b. It wins C->D, so multicast branch 2
+// waits at A... the multicast's branch 1 reaches E first and claims E->b,
+// idling because branch 2 is blocked. The unicast then blocks on E->b:
+// a cycle — permanent deadlock under pure IDLE-fill.
+#include <gtest/gtest.h>
+
+#include "core/network.h"
+#include "net/source_route.h"
+
+namespace wormcast {
+namespace {
+
+struct Figure3 {
+  Topology topo;
+  NodeId A, B, C, D, E;
+  HostId mx = 0, u = 1, b = 2, d = 3;  // host ids by add order
+
+  Figure3() {
+    A = topo.add_switch("A");
+    B = topo.add_switch("B");
+    C = topo.add_switch("C");
+    D = topo.add_switch("D");
+    E = topo.add_switch("E");
+    topo.connect(A, B, 5);
+    topo.connect(B, E, 5);
+    topo.connect(A, C, 40);  // branch 2 reaches C late
+    topo.connect(C, D, 5);
+    topo.connect(D, E, 60);  // the unicast reaches E late
+    // Hosts: mx@A, u@C, b@E, d@D (ids in this order).
+    topo.connect(topo.add_host("mx"), A, 5);
+    topo.connect(topo.add_host("u"), C, 5);
+    topo.connect(topo.add_host("b"), E, 5);
+    topo.connect(topo.add_host("d"), D, 5);
+    topo.validate();
+  }
+
+  /// Hand-encoded multicast route using the crosslink path (off the
+  /// up/down spanning tree — the Figure 3 premise).
+  EncodedMcastRoute mcast_route() const {
+    const auto port = [&](NodeId from, NodeId to) {
+      for (std::size_t p = 0; p < topo.node(from).ports.size(); ++p)
+        if (topo.peer(topo.node(from).ports[p].link, from) == to)
+          return static_cast<PortId>(p);
+      throw std::logic_error("no such edge");
+    };
+    McastRouteTree branch1{
+        port(A, B), {{port(B, E), {{port(E, topo.node_of_host(b)), {}}}}}};
+    McastRouteTree branch2{
+        port(A, C), {{port(C, D), {{port(D, topo.node_of_host(d)), {}}}}}};
+    return EncodedMcastRoute::encode({branch1, branch2});
+  }
+};
+
+std::shared_ptr<MessageContext> inject_figure3(Network& net, const Figure3& f) {
+  // The unicast u->b goes first and wins the C->D link.
+  Demand uni;
+  uni.src = f.u;
+  uni.dst = f.b;
+  uni.length = 3000;
+  net.inject(uni);
+
+  // The multicast follows immediately on the hand-encoded crosslink tree.
+  auto ctx = net.metrics().create_message(f.mx, 0, 2000, 2, net.sim().now());
+  auto worm = std::make_shared<Worm>();
+  worm->id = ctx->message_id;
+  worm->kind = WormKind::kSwitchMcast;
+  worm->src = f.mx;
+  worm->payload = 2000;
+  worm->header = 0;
+  worm->mcast_route = f.mcast_route();
+  worm->message = ctx;
+  net.adapter(f.mx).send(worm);
+  return ctx;
+}
+
+ExperimentConfig fig3_config(SwitchMcastScheme scheme) {
+  ExperimentConfig cfg;
+  cfg.switch_mcast.scheme = scheme;
+  cfg.switch_mcast.idle_flush_threshold = 128;
+  cfg.switch_mcast.interrupt_check = 32;
+  cfg.routing.root = 0;  // root at A; D--E and A--C become crosslinks
+  return cfg;
+}
+
+TEST(Figure3, IdleFillDeadlocksOffTheSpanningTree) {
+  Figure3 f;
+  Network net(f.topo, {}, fig3_config(SwitchMcastScheme::kIdleFill));
+  auto ctx = inject_figure3(net, f);
+  net.run_until(2'000'000);
+  // Permanent deadlock: the simulation went quiescent with both the
+  // multicast and the unicast undelivered.
+  EXPECT_TRUE(net.sim().idle());
+  EXPECT_LT(ctx->destinations_reached, 2);
+  EXPECT_GT(net.metrics().outstanding(), 0);
+}
+
+TEST(Figure3, InterruptSchemeRecovers) {
+  Figure3 f;
+  Network net(f.topo, {},
+              fig3_config(SwitchMcastScheme::kInterrupt));
+  auto ctx = inject_figure3(net, f);
+  net.run_until(2'000'000);
+  EXPECT_EQ(ctx->destinations_reached, 2);
+  EXPECT_EQ(net.metrics().outstanding(), 0);
+  // Recovery happened by fragmenting: the blocked-branch interrupt ended
+  // the first fragment, releasing E->b for the unicast.
+  EXPECT_GT(net.switch_mcast_engine().fragments_sent(), 2);
+}
+
+TEST(Figure3, FlushUnicastSchemeRecovers) {
+  Figure3 f;
+  Network net(f.topo, {},
+              fig3_config(SwitchMcastScheme::kFlushUnicast));
+  auto ctx = inject_figure3(net, f);
+  net.run_until(2'000'000);
+  EXPECT_EQ(ctx->destinations_reached, 2);
+  EXPECT_EQ(net.metrics().outstanding(), 0);
+  // Recovery happened by flushing the unicast and retransmitting it.
+  EXPECT_GE(net.switch_mcast_engine().unicasts_flushed(), 1);
+  EXPECT_GE(net.metrics().retransmits(), 1);
+}
+
+}  // namespace
+}  // namespace wormcast

@@ -1,0 +1,127 @@
+// Multicast source-route encoding (Figure 2): round-trip, split semantics,
+// malformed input rejection, randomized property sweep.
+#include "net/source_route.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/random.h"
+
+namespace wormcast {
+namespace {
+
+McastRouteTree leaf(PortId p) { return McastRouteTree{p, {}}; }
+McastRouteTree node(PortId p, std::vector<McastRouteTree> kids) {
+  return McastRouteTree{p, std::move(kids)};
+}
+
+TEST(SourceRoute, ToStringAndAccess) {
+  const SourceRoute r({3, 1, 4});
+  EXPECT_EQ(r.size(), 3u);
+  EXPECT_EQ(r.at(0), 3);
+  EXPECT_EQ(r.at(2), 4);
+  EXPECT_EQ(r.to_string(), "3.1.4");
+  EXPECT_TRUE(SourceRoute{}.empty());
+}
+
+TEST(EncodedMcastRoute, SingleLeafRoundTrips) {
+  const std::vector<McastRouteTree> tree{leaf(5)};
+  const auto enc = EncodedMcastRoute::encode(tree);
+  EXPECT_EQ(enc.decode(), tree);
+  const auto branches = enc.split();
+  ASSERT_EQ(branches.size(), 1u);
+  EXPECT_EQ(branches[0].port, 5);
+  EXPECT_TRUE(branches[0].subroute.empty());
+}
+
+TEST(EncodedMcastRoute, PaperFigure2Shape) {
+  // The Figure 2 example: at the first switch the worm forks to ports 1 and
+  // 3; the port-1 copy continues via port 2 then port 5; the port-3 copy
+  // forks to ports 4 (then 1) and 7.
+  const std::vector<McastRouteTree> tree{
+      node(1, {node(2, {leaf(5)})}),
+      node(3, {node(4, {leaf(1)}), leaf(7)}),
+  };
+  const auto enc = EncodedMcastRoute::encode(tree);
+  EXPECT_EQ(enc.decode(), tree);
+
+  const auto top = enc.split();
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].port, 1);
+  EXPECT_EQ(top[1].port, 3);
+
+  // Copy leaving port 1 carries "2 ... 5 ..." — one branch to port 2.
+  const auto left = top[0].subroute.split();
+  ASSERT_EQ(left.size(), 1u);
+  EXPECT_EQ(left[0].port, 2);
+  const auto left2 = left[0].subroute.split();
+  ASSERT_EQ(left2.size(), 1u);
+  EXPECT_EQ(left2[0].port, 5);
+  EXPECT_TRUE(left2[0].subroute.empty());
+
+  // Copy leaving port 3 carries branches to ports 4 and 7.
+  const auto right = top[1].subroute.split();
+  ASSERT_EQ(right.size(), 2u);
+  EXPECT_EQ(right[0].port, 4);
+  EXPECT_EQ(right[1].port, 7);
+  EXPECT_TRUE(right[1].subroute.empty());
+}
+
+TEST(EncodedMcastRoute, EncodeRejectsBadPorts) {
+  EXPECT_THROW(EncodedMcastRoute::encode({leaf(-1)}), std::invalid_argument);
+  EXPECT_THROW(EncodedMcastRoute::encode({leaf(255)}), std::invalid_argument);
+  EXPECT_THROW(EncodedMcastRoute::encode({}), std::invalid_argument);
+}
+
+TEST(EncodedMcastRoute, SplitRejectsMalformedBytes) {
+  const auto enc = EncodedMcastRoute::encode({node(1, {leaf(2)})});
+  EXPECT_NO_THROW(enc.split());
+
+  auto truncated = enc.bytes();
+  truncated.pop_back();  // drop the end marker
+  EXPECT_THROW(EncodedMcastRoute::from_bytes(truncated).split(),
+               std::invalid_argument);
+
+  auto lying_pointer = enc.bytes();
+  lying_pointer[1] = 0xFF;  // subroute length overruns the buffer
+  lying_pointer[2] = 0x00;
+  EXPECT_THROW(EncodedMcastRoute::from_bytes(lying_pointer).split(),
+               std::invalid_argument);
+
+  auto trailing = enc.bytes();
+  trailing.push_back(3);  // bytes after the end marker
+  EXPECT_THROW(EncodedMcastRoute::from_bytes(trailing).split(),
+               std::invalid_argument);
+}
+
+TEST(EncodedMcastRoute, RandomTreesRoundTrip) {
+  RandomStream rng(7);
+  for (int trial = 0; trial < 200; ++trial) {
+    // Random tree with bounded depth/fanout.
+    std::function<McastRouteTree(int)> gen = [&](int depth) {
+      McastRouteTree t;
+      t.port = static_cast<PortId>(rng.uniform(0, 30));
+      if (depth < 3) {
+        const auto kids = rng.uniform(0, depth == 0 ? 3 : 2);
+        for (int k = 0; k < kids; ++k) t.children.push_back(gen(depth + 1));
+      }
+      return t;
+    };
+    std::vector<McastRouteTree> forest;
+    const auto roots = rng.uniform(1, 3);
+    for (int i = 0; i < roots; ++i) forest.push_back(gen(0));
+    const auto enc = EncodedMcastRoute::encode(forest);
+    EXPECT_EQ(enc.decode(), forest);
+  }
+}
+
+TEST(EncodedMcastRoute, SizeGrowsLinearlyWithNodes) {
+  // Each tree node costs 3 bytes (port + 2-byte pointer) + an end marker
+  // per internal branch list + 1 top-level end marker.
+  const auto enc1 = EncodedMcastRoute::encode({leaf(1)});
+  EXPECT_EQ(enc1.size_bytes(), 4u);  // 1 node * 3 + 1 end
+  const auto enc2 = EncodedMcastRoute::encode({node(1, {leaf(2)})});
+  EXPECT_EQ(enc2.size_bytes(), 8u);  // 2*3 + inner end + outer end
+}
+
+}  // namespace
+}  // namespace wormcast

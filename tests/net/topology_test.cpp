@@ -1,0 +1,127 @@
+#include "net/topology.h"
+
+#include <gtest/gtest.h>
+
+#include "net/topologies.h"
+#include "sim/random.h"
+
+namespace wormcast {
+namespace {
+
+TEST(Topology, ConnectAssignsSequentialPorts) {
+  Topology t;
+  const NodeId a = t.add_switch();
+  const NodeId b = t.add_switch();
+  const NodeId c = t.add_switch();
+  const LinkId ab = t.connect(a, b);
+  const LinkId ac = t.connect(a, c);
+  EXPECT_EQ(t.link(ab).port_a, 0);
+  EXPECT_EQ(t.link(ac).port_a, 1);
+  EXPECT_EQ(t.peer(ab, a), b);
+  EXPECT_EQ(t.peer(ab, b), a);
+  EXPECT_EQ(t.port_on(ab, b), 0);
+  EXPECT_EQ(t.neighbor_via(a, 1), c);
+}
+
+TEST(Topology, HostBookkeeping) {
+  Topology t;
+  const NodeId sw = t.add_switch();
+  const NodeId h0 = t.add_host();
+  const NodeId h1 = t.add_host();
+  t.connect(h0, sw);
+  t.connect(h1, sw);
+  EXPECT_EQ(t.num_hosts(), 2);
+  EXPECT_EQ(t.node_of_host(0), h0);
+  EXPECT_EQ(t.node_of_host(1), h1);
+  EXPECT_EQ(t.switch_of_host(0), sw);
+  EXPECT_EQ(t.switch_of_host(1), sw);
+  EXPECT_NO_THROW(t.validate());
+}
+
+TEST(Topology, ValidateRejectsMultiPortHost) {
+  Topology t;
+  const NodeId sw1 = t.add_switch();
+  const NodeId sw2 = t.add_switch();
+  t.connect(sw1, sw2);
+  const NodeId h = t.add_host();
+  t.connect(h, sw1);
+  t.connect(h, sw2);
+  EXPECT_THROW(t.validate(), std::logic_error);
+}
+
+TEST(Topology, ValidateRejectsDisconnected) {
+  Topology t;
+  t.add_switch();
+  t.add_switch();
+  EXPECT_THROW(t.validate(), std::logic_error);
+}
+
+TEST(Topology, RejectsSelfLinkAndBadDelay) {
+  Topology t;
+  const NodeId a = t.add_switch();
+  const NodeId b = t.add_switch();
+  EXPECT_THROW(t.connect(a, a), std::logic_error);
+  EXPECT_THROW(t.connect(a, b, 0), std::logic_error);
+}
+
+TEST(Topologies, TorusHasExpectedShape) {
+  const Topology t = make_torus(8, 8);
+  EXPECT_EQ(t.num_switches(), 64);
+  EXPECT_EQ(t.num_hosts(), 64);
+  // 2 fabric links per switch (right+down with wraparound) + 1 host link.
+  EXPECT_EQ(t.num_links(), 64 * 2 + 64);
+  for (NodeId n = 0; n < t.num_nodes(); ++n) {
+    if (t.node(n).kind == NodeKind::kSwitch)
+      EXPECT_EQ(t.node(n).ports.size(), 5u);  // 4 mesh + 1 host
+  }
+}
+
+TEST(Topologies, SmallTorusAvoidsDuplicateLinks) {
+  const Topology t = make_torus(2, 2);
+  // 2x2: wraparound would duplicate; expect 4 unique fabric links + hosts.
+  EXPECT_EQ(t.num_links(), 4 + 4);
+  EXPECT_NO_THROW(t.validate());
+}
+
+TEST(Topologies, ShufflenetShape) {
+  const Topology t = make_bidir_shufflenet(2, 3);
+  EXPECT_EQ(t.num_switches(), 24);  // 3 columns x 8
+  EXPECT_EQ(t.num_hosts(), 24);
+  EXPECT_NO_THROW(t.validate());
+  // Each switch originates p=2 forward links: 48 fabric links (some pairs
+  // may merge when both directions coincide).
+  EXPECT_GE(t.num_links() - 24, 40);
+  EXPECT_LE(t.num_links() - 24, 48);
+}
+
+TEST(Topologies, MyrinetTestbedShape) {
+  const Topology t = make_myrinet_testbed();
+  EXPECT_EQ(t.num_switches(), 4);
+  EXPECT_EQ(t.num_hosts(), 8);
+  EXPECT_EQ(t.num_links(), 3 + 8);
+  // Two hosts per switch.
+  for (HostId h = 0; h < 8; ++h)
+    EXPECT_EQ(t.switch_of_host(h), h / 2);
+}
+
+TEST(Topologies, StarAndLine) {
+  const Topology star = make_star(5);
+  EXPECT_EQ(star.num_switches(), 1);
+  EXPECT_EQ(star.num_hosts(), 5);
+  const Topology line = make_line(3);
+  EXPECT_EQ(line.num_switches(), 3);
+  EXPECT_EQ(line.num_links(), 2 + 3);
+}
+
+TEST(Topologies, RandomMeshIsValidAndConnected) {
+  RandomStream rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Topology t = make_random_mesh(12, 3.0, rng);
+    EXPECT_EQ(t.num_switches(), 12);
+    EXPECT_EQ(t.num_hosts(), 12);
+    EXPECT_NO_THROW(t.validate());
+  }
+}
+
+}  // namespace
+}  // namespace wormcast

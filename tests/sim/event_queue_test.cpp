@@ -1,0 +1,97 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace wormcast {
+namespace {
+
+TEST(EventQueue, FiresInTimeOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.schedule(30, [&] { fired.push_back(3); });
+  q.schedule(10, [&] { fired.push_back(1); });
+  q.schedule(20, [&] { fired.push_back(2); });
+  while (!q.empty()) q.pop().action();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, EqualTimesFireInInsertionOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  for (int i = 0; i < 10; ++i) q.schedule(5, [&fired, i] { fired.push_back(i); });
+  while (!q.empty()) q.pop().action();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(fired[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, NextTimeReportsEarliestLiveEvent) {
+  EventQueue q;
+  EXPECT_EQ(q.next_time(), kTimeNever);
+  auto h = q.schedule(7, [] {});
+  q.schedule(9, [] {});
+  EXPECT_EQ(q.next_time(), 7);
+  q.cancel(h);
+  EXPECT_EQ(q.next_time(), 9);
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  bool ran = false;
+  auto h = q.schedule(1, [&] { ran = true; });
+  q.cancel(h);
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueue, CancelTwiceIsHarmless) {
+  EventQueue q;
+  auto h = q.schedule(1, [] {});
+  q.cancel(h);
+  q.cancel(h);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, CancelAfterFireIsHarmless) {
+  EventQueue q;
+  auto h = q.schedule(1, [] {});
+  q.pop().action();
+  q.cancel(h);  // must not corrupt later events
+  bool ran = false;
+  q.schedule(2, [&] { ran = true; });
+  q.pop().action();
+  EXPECT_TRUE(ran);
+}
+
+TEST(EventQueue, DefaultHandleIsInvalidAndIgnored) {
+  EventQueue q;
+  EventHandle h;
+  EXPECT_FALSE(h.valid());
+  q.cancel(h);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, SizeCountsLiveEventsOnly) {
+  EventQueue q;
+  auto a = q.schedule(1, [] {});
+  q.schedule(2, [] {});
+  EXPECT_EQ(q.size(), 2u);
+  q.cancel(a);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, InterleavedCancelAndPop) {
+  EventQueue q;
+  std::vector<int> fired;
+  std::vector<EventHandle> handles;
+  for (int i = 0; i < 100; ++i)
+    handles.push_back(q.schedule(i, [&fired, i] { fired.push_back(i); }));
+  for (int i = 0; i < 100; i += 2) q.cancel(handles[static_cast<std::size_t>(i)]);
+  while (!q.empty()) q.pop().action();
+  ASSERT_EQ(fired.size(), 50u);
+  for (std::size_t i = 0; i < fired.size(); ++i)
+    EXPECT_EQ(fired[i], static_cast<int>(2 * i + 1));
+}
+
+}  // namespace
+}  // namespace wormcast

@@ -1,0 +1,103 @@
+#include "sim/random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace wormcast {
+namespace {
+
+TEST(RandomStream, ExpIntervalHasRequestedMean) {
+  RandomStream rng(1);
+  const double mean = 500.0;
+  double total = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) total += static_cast<double>(rng.exp_interval(mean));
+  EXPECT_NEAR(total / n, mean, mean * 0.05);
+}
+
+TEST(RandomStream, ExpIntervalNeverBelowOne) {
+  RandomStream rng(2);
+  for (int i = 0; i < 10000; ++i) EXPECT_GE(rng.exp_interval(1.5), 1);
+}
+
+TEST(RandomStream, GeometricLengthHasRequestedMeanAndFloor) {
+  RandomStream rng(3);
+  const double mean = 400.0;
+  const std::int64_t min_len = 16;
+  double total = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const auto len = rng.geometric_length(mean, min_len);
+    EXPECT_GE(len, min_len);
+    total += static_cast<double>(len);
+  }
+  EXPECT_NEAR(total / n, mean, mean * 0.05);
+}
+
+TEST(RandomStream, UniformCoversRangeInclusive) {
+  RandomStream rng(4);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.uniform(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    saw_lo |= (v == 3);
+    saw_hi |= (v == 7);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RandomStream, ChanceRespectsProbability) {
+  RandomStream rng(5);
+  int hits = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) hits += rng.chance(0.1) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.1, 0.01);
+  EXPECT_FALSE(rng.chance(0.0));
+  EXPECT_TRUE(rng.chance(1.0));
+}
+
+TEST(RandomStream, SameSeedSameSequence) {
+  RandomStream a(77);
+  RandomStream b(77);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.uniform(0, 1000), b.uniform(0, 1000));
+}
+
+TEST(RandomStream, ForkedStreamsAreIndependentAndDeterministic) {
+  RandomStream base(9);
+  RandomStream f1 = base.fork(1);
+  RandomStream f2 = base.fork(2);
+  RandomStream f1_again = RandomStream(9).fork(1);
+  bool all_equal = true;
+  for (int i = 0; i < 50; ++i) {
+    const auto a = f1.uniform(0, 1 << 30);
+    const auto b = f2.uniform(0, 1 << 30);
+    if (a != b) all_equal = false;
+    EXPECT_EQ(a, f1_again.uniform(0, 1 << 30));
+  }
+  EXPECT_FALSE(all_equal);
+}
+
+TEST(RandomStream, ShuffleIsAPermutation) {
+  RandomStream rng(11);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(RandomStream, PickReturnsContainedElement) {
+  RandomStream rng(12);
+  const std::vector<int> v{10, 20, 30};
+  for (int i = 0; i < 100; ++i) {
+    const int x = rng.pick(v);
+    EXPECT_TRUE(x == 10 || x == 20 || x == 30);
+  }
+}
+
+}  // namespace
+}  // namespace wormcast

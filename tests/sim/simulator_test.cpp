@@ -1,0 +1,85 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace wormcast {
+namespace {
+
+TEST(Simulator, ClockAdvancesToEventTimes) {
+  Simulator sim;
+  std::vector<Time> seen;
+  sim.at(5, [&] { seen.push_back(sim.now()); });
+  sim.at(12, [&] { seen.push_back(sim.now()); });
+  sim.run();
+  EXPECT_EQ(seen, (std::vector<Time>{5, 12}));
+  EXPECT_EQ(sim.now(), 12);
+}
+
+TEST(Simulator, AfterSchedulesRelativeToNow) {
+  Simulator sim;
+  Time fired_at = -1;
+  sim.at(10, [&] { sim.after(7, [&] { fired_at = sim.now(); }); });
+  sim.run();
+  EXPECT_EQ(fired_at, 17);
+}
+
+TEST(Simulator, RunUntilStopsAtDeadlineAndAdvancesClock) {
+  Simulator sim;
+  int fired = 0;
+  sim.at(5, [&] { ++fired; });
+  sim.at(50, [&] { ++fired; });
+  sim.run_until(20);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), 20);
+  sim.run_until(60);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.now(), 60);
+}
+
+TEST(Simulator, StopHaltsDispatch) {
+  Simulator sim;
+  int fired = 0;
+  sim.at(1, [&] {
+    ++fired;
+    sim.stop();
+  });
+  sim.at(2, [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  sim.run();  // resume
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, EventsCanScheduleAtCurrentTime) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.at(5, [&] {
+    order.push_back(1);
+    sim.after(0, [&] { order.push_back(2); });
+  });
+  sim.at(5, [&] { order.push_back(3); });
+  sim.run();
+  // The zero-delay event fires after already-queued same-time events.
+  EXPECT_EQ(order, (std::vector<int>{1, 3, 2}));
+}
+
+TEST(Simulator, ProgressCounterAccumulates) {
+  Simulator sim;
+  sim.note_progress(3);
+  sim.note_progress();
+  EXPECT_EQ(sim.progress(), 4);
+}
+
+TEST(Simulator, CancelledEventDoesNotFire) {
+  Simulator sim;
+  bool ran = false;
+  auto h = sim.at(5, [&] { ran = true; });
+  sim.cancel(h);
+  sim.run();
+  EXPECT_FALSE(ran);
+}
+
+}  // namespace
+}  // namespace wormcast

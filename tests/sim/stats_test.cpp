@@ -1,0 +1,90 @@
+#include "sim/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace wormcast {
+namespace {
+
+TEST(RunningStat, BasicMoments) {
+  RunningStat s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 0.001);  // sample stddev
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStat, EmptyIsZero) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStat, MergeMatchesCombinedStream) {
+  RunningStat a;
+  RunningStat b;
+  RunningStat combined;
+  for (int i = 0; i < 50; ++i) {
+    const double x = i * 0.7;
+    (i % 2 == 0 ? a : b).add(x);
+    combined.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_NEAR(a.mean(), combined.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), combined.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), combined.min());
+  EXPECT_DOUBLE_EQ(a.max(), combined.max());
+}
+
+TEST(RunningStat, MergeWithEmptySides) {
+  RunningStat a;
+  RunningStat b;
+  b.add(3.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 1);
+  EXPECT_DOUBLE_EQ(a.mean(), 3.0);
+  RunningStat empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1);
+}
+
+TEST(SampleSet, ExactPercentiles) {
+  SampleSet s;
+  for (int i = 1; i <= 100; ++i) s.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 100.0);
+  EXPECT_NEAR(s.percentile(50), 50.5, 0.01);
+  EXPECT_NEAR(s.percentile(95), 95.05, 0.01);
+}
+
+TEST(SampleSet, PercentileAfterInterleavedAdds) {
+  SampleSet s;
+  s.add(5.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 5.0);
+  s.add(1.0);  // must re-sort
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 5.0);
+}
+
+TEST(SampleSet, EmptyPercentileIsZero) {
+  SampleSet s;
+  EXPECT_DOUBLE_EQ(s.percentile(50), 0.0);
+}
+
+TEST(RateMeter, RateOverWindow) {
+  RateMeter m;
+  m.start_window(1000);
+  m.add(50);
+  m.add(50);
+  EXPECT_DOUBLE_EQ(m.rate(2000), 0.1);
+  EXPECT_EQ(m.total(), 100);
+  m.start_window(2000);
+  EXPECT_EQ(m.total(), 0);
+  EXPECT_DOUBLE_EQ(m.rate(2000), 0.0);
+}
+
+}  // namespace
+}  // namespace wormcast

@@ -1,0 +1,62 @@
+#include "sim/watchdog.h"
+
+#include <gtest/gtest.h>
+
+namespace wormcast {
+namespace {
+
+TEST(DeadlockWatchdog, DetectsStallWithOutstandingWork) {
+  Simulator sim;
+  std::int64_t outstanding = 1;
+  bool alarmed = false;
+  DeadlockWatchdog dog(
+      sim, 100, [&] { return outstanding; }, [&] { alarmed = true; });
+  dog.arm();
+  // No progress ever happens.
+  sim.run_until(1000);
+  EXPECT_TRUE(dog.deadlock_detected());
+  EXPECT_TRUE(alarmed);
+  EXPECT_LE(dog.detection_time(), 200);
+}
+
+TEST(DeadlockWatchdog, QuiescenceIsNotDeadlock) {
+  Simulator sim;
+  bool alarmed = false;
+  DeadlockWatchdog dog(
+      sim, 100, [] { return 0; }, [&] { alarmed = true; });
+  dog.arm();
+  sim.run_until(1000);
+  EXPECT_FALSE(dog.deadlock_detected());
+  EXPECT_FALSE(alarmed);
+}
+
+TEST(DeadlockWatchdog, ProgressSuppressesAlarm) {
+  Simulator sim;
+  bool alarmed = false;
+  DeadlockWatchdog dog(
+      sim, 100, [] { return 5; }, [&] { alarmed = true; });
+  dog.arm();
+  // Keep making progress every 50 byte-times.
+  for (Time t = 50; t <= 2000; t += 50)
+    sim.at(t, [&sim] { sim.note_progress(); });
+  sim.run_until(2000);
+  EXPECT_FALSE(dog.deadlock_detected());
+  EXPECT_FALSE(alarmed);
+}
+
+TEST(DeadlockWatchdog, DetectsStallAfterProgressStops) {
+  Simulator sim;
+  bool alarmed = false;
+  DeadlockWatchdog dog(
+      sim, 100, [] { return 1; }, [&] { alarmed = true; });
+  dog.arm();
+  for (Time t = 10; t <= 500; t += 10)
+    sim.at(t, [&sim] { sim.note_progress(); });
+  sim.run_until(5000);
+  EXPECT_TRUE(alarmed);
+  EXPECT_GE(dog.detection_time(), 500);
+  EXPECT_LE(dog.detection_time(), 800);
+}
+
+}  // namespace
+}  // namespace wormcast

@@ -1,0 +1,56 @@
+#include "traffic/groups.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace wormcast {
+namespace {
+
+TEST(Groups, RandomGroupsHaveDistinctMembersInRange) {
+  RandomStream rng(1);
+  const auto groups = make_random_groups(10, 10, 64, rng);
+  ASSERT_EQ(groups.size(), 10u);
+  for (const auto& g : groups) {
+    EXPECT_EQ(g.members.size(), 10u);
+    std::set<HostId> uniq(g.members.begin(), g.members.end());
+    EXPECT_EQ(uniq.size(), 10u);
+    for (const HostId m : g.members) {
+      EXPECT_GE(m, 0);
+      EXPECT_LT(m, 64);
+    }
+  }
+  EXPECT_EQ(groups[0].id, 0);
+  EXPECT_EQ(groups[9].id, 9);
+}
+
+TEST(Groups, GroupOfAllHosts) {
+  RandomStream rng(2);
+  const auto groups = make_random_groups(1, 8, 8, rng);
+  std::set<HostId> uniq(groups[0].members.begin(), groups[0].members.end());
+  EXPECT_EQ(uniq.size(), 8u);
+}
+
+TEST(Groups, OversizedGroupThrows) {
+  RandomStream rng(3);
+  EXPECT_THROW(make_random_groups(1, 9, 8, rng), std::invalid_argument);
+}
+
+TEST(Groups, DeterministicForSameSeed) {
+  RandomStream a(7);
+  RandomStream b(7);
+  const auto ga = make_random_groups(5, 6, 24, a);
+  const auto gb = make_random_groups(5, 6, 24, b);
+  for (std::size_t i = 0; i < ga.size(); ++i)
+    EXPECT_EQ(ga[i].members, gb[i].members);
+}
+
+TEST(Groups, FullGroupCoversEveryHost) {
+  const auto g = make_full_group(8, 3);
+  EXPECT_EQ(g.id, 3);
+  ASSERT_EQ(g.members.size(), 8u);
+  for (HostId h = 0; h < 8; ++h) EXPECT_EQ(g.members[h], h);
+}
+
+}  // namespace
+}  // namespace wormcast
