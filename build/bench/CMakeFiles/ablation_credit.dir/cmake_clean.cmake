@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_credit.dir/ablation_credit.cpp.o"
+  "CMakeFiles/ablation_credit.dir/ablation_credit.cpp.o.d"
+  "ablation_credit"
+  "ablation_credit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_credit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

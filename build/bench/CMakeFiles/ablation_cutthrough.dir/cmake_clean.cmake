@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cutthrough.dir/ablation_cutthrough.cpp.o"
+  "CMakeFiles/ablation_cutthrough.dir/ablation_cutthrough.cpp.o.d"
+  "ablation_cutthrough"
+  "ablation_cutthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cutthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_deadlock.dir/ablation_deadlock.cpp.o"
+  "CMakeFiles/ablation_deadlock.dir/ablation_deadlock.cpp.o.d"
+  "ablation_deadlock"
+  "ablation_deadlock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_deadlock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

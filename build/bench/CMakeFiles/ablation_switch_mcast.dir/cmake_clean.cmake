@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_switch_mcast.dir/ablation_switch_mcast.cpp.o"
+  "CMakeFiles/ablation_switch_mcast.dir/ablation_switch_mcast.cpp.o.d"
+  "ablation_switch_mcast"
+  "ablation_switch_mcast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_switch_mcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

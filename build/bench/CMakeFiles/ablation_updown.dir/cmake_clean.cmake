@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_updown.dir/ablation_updown.cpp.o"
+  "CMakeFiles/ablation_updown.dir/ablation_updown.cpp.o.d"
+  "ablation_updown"
+  "ablation_updown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_updown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

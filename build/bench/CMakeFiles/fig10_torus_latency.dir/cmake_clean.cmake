@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_torus_latency.dir/fig10_torus_latency.cpp.o"
+  "CMakeFiles/fig10_torus_latency.dir/fig10_torus_latency.cpp.o.d"
+  "fig10_torus_latency"
+  "fig10_torus_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_torus_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

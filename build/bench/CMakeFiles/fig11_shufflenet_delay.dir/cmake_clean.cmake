@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_shufflenet_delay.dir/fig11_shufflenet_delay.cpp.o"
+  "CMakeFiles/fig11_shufflenet_delay.dir/fig11_shufflenet_delay.cpp.o.d"
+  "fig11_shufflenet_delay"
+  "fig11_shufflenet_delay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_shufflenet_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_myrinet_throughput.dir/fig12_myrinet_throughput.cpp.o"
+  "CMakeFiles/fig12_myrinet_throughput.dir/fig12_myrinet_throughput.cpp.o.d"
+  "fig12_myrinet_throughput"
+  "fig12_myrinet_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_myrinet_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

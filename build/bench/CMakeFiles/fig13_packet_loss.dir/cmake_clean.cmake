@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_packet_loss.dir/fig13_packet_loss.cpp.o"
+  "CMakeFiles/fig13_packet_loss.dir/fig13_packet_loss.cpp.o.d"
+  "fig13_packet_loss"
+  "fig13_packet_loss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_packet_loss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig13_packet_loss.
+# This may be replaced when dependencies are built.

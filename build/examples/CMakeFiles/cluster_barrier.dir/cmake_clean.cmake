@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_barrier.dir/cluster_barrier.cpp.o"
+  "CMakeFiles/cluster_barrier.dir/cluster_barrier.cpp.o.d"
+  "cluster_barrier"
+  "cluster_barrier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_barrier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_whiteboard.dir/distributed_whiteboard.cpp.o"
+  "CMakeFiles/distributed_whiteboard.dir/distributed_whiteboard.cpp.o.d"
+  "distributed_whiteboard"
+  "distributed_whiteboard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_whiteboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

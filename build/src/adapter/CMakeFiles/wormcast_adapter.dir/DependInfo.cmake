@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/adapter/buffer_pool.cpp" "src/adapter/CMakeFiles/wormcast_adapter.dir/buffer_pool.cpp.o" "gcc" "src/adapter/CMakeFiles/wormcast_adapter.dir/buffer_pool.cpp.o.d"
+  "/root/repo/src/adapter/host_adapter.cpp" "src/adapter/CMakeFiles/wormcast_adapter.dir/host_adapter.cpp.o" "gcc" "src/adapter/CMakeFiles/wormcast_adapter.dir/host_adapter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/wormcast_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wormcast_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wormcast_adapter.dir/buffer_pool.cpp.o"
+  "CMakeFiles/wormcast_adapter.dir/buffer_pool.cpp.o.d"
+  "CMakeFiles/wormcast_adapter.dir/host_adapter.cpp.o"
+  "CMakeFiles/wormcast_adapter.dir/host_adapter.cpp.o.d"
+  "libwormcast_adapter.a"
+  "libwormcast_adapter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wormcast_adapter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

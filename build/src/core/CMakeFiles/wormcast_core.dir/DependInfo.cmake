@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/group_tables.cpp" "src/core/CMakeFiles/wormcast_core.dir/group_tables.cpp.o" "gcc" "src/core/CMakeFiles/wormcast_core.dir/group_tables.cpp.o.d"
+  "/root/repo/src/core/host_protocol.cpp" "src/core/CMakeFiles/wormcast_core.dir/host_protocol.cpp.o" "gcc" "src/core/CMakeFiles/wormcast_core.dir/host_protocol.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/core/CMakeFiles/wormcast_core.dir/metrics.cpp.o" "gcc" "src/core/CMakeFiles/wormcast_core.dir/metrics.cpp.o.d"
+  "/root/repo/src/core/network.cpp" "src/core/CMakeFiles/wormcast_core.dir/network.cpp.o" "gcc" "src/core/CMakeFiles/wormcast_core.dir/network.cpp.o.d"
+  "/root/repo/src/core/protocol_config.cpp" "src/core/CMakeFiles/wormcast_core.dir/protocol_config.cpp.o" "gcc" "src/core/CMakeFiles/wormcast_core.dir/protocol_config.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/wormcast_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/adapter/CMakeFiles/wormcast_adapter.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/wormcast_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wormcast_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wormcast_core.dir/group_tables.cpp.o"
+  "CMakeFiles/wormcast_core.dir/group_tables.cpp.o.d"
+  "CMakeFiles/wormcast_core.dir/host_protocol.cpp.o"
+  "CMakeFiles/wormcast_core.dir/host_protocol.cpp.o.d"
+  "CMakeFiles/wormcast_core.dir/metrics.cpp.o"
+  "CMakeFiles/wormcast_core.dir/metrics.cpp.o.d"
+  "CMakeFiles/wormcast_core.dir/network.cpp.o"
+  "CMakeFiles/wormcast_core.dir/network.cpp.o.d"
+  "CMakeFiles/wormcast_core.dir/protocol_config.cpp.o"
+  "CMakeFiles/wormcast_core.dir/protocol_config.cpp.o.d"
+  "libwormcast_core.a"
+  "libwormcast_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wormcast_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/channel.cpp" "src/net/CMakeFiles/wormcast_net.dir/channel.cpp.o" "gcc" "src/net/CMakeFiles/wormcast_net.dir/channel.cpp.o.d"
+  "/root/repo/src/net/fabric.cpp" "src/net/CMakeFiles/wormcast_net.dir/fabric.cpp.o" "gcc" "src/net/CMakeFiles/wormcast_net.dir/fabric.cpp.o.d"
+  "/root/repo/src/net/mcast_route_builder.cpp" "src/net/CMakeFiles/wormcast_net.dir/mcast_route_builder.cpp.o" "gcc" "src/net/CMakeFiles/wormcast_net.dir/mcast_route_builder.cpp.o.d"
+  "/root/repo/src/net/source_route.cpp" "src/net/CMakeFiles/wormcast_net.dir/source_route.cpp.o" "gcc" "src/net/CMakeFiles/wormcast_net.dir/source_route.cpp.o.d"
+  "/root/repo/src/net/switch_mcast.cpp" "src/net/CMakeFiles/wormcast_net.dir/switch_mcast.cpp.o" "gcc" "src/net/CMakeFiles/wormcast_net.dir/switch_mcast.cpp.o.d"
+  "/root/repo/src/net/switch_mcast_engine.cpp" "src/net/CMakeFiles/wormcast_net.dir/switch_mcast_engine.cpp.o" "gcc" "src/net/CMakeFiles/wormcast_net.dir/switch_mcast_engine.cpp.o.d"
+  "/root/repo/src/net/switch_rt.cpp" "src/net/CMakeFiles/wormcast_net.dir/switch_rt.cpp.o" "gcc" "src/net/CMakeFiles/wormcast_net.dir/switch_rt.cpp.o.d"
+  "/root/repo/src/net/topologies.cpp" "src/net/CMakeFiles/wormcast_net.dir/topologies.cpp.o" "gcc" "src/net/CMakeFiles/wormcast_net.dir/topologies.cpp.o.d"
+  "/root/repo/src/net/topology.cpp" "src/net/CMakeFiles/wormcast_net.dir/topology.cpp.o" "gcc" "src/net/CMakeFiles/wormcast_net.dir/topology.cpp.o.d"
+  "/root/repo/src/net/updown.cpp" "src/net/CMakeFiles/wormcast_net.dir/updown.cpp.o" "gcc" "src/net/CMakeFiles/wormcast_net.dir/updown.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/wormcast_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

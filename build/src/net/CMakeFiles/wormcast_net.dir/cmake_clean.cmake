@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wormcast_net.dir/channel.cpp.o"
+  "CMakeFiles/wormcast_net.dir/channel.cpp.o.d"
+  "CMakeFiles/wormcast_net.dir/fabric.cpp.o"
+  "CMakeFiles/wormcast_net.dir/fabric.cpp.o.d"
+  "CMakeFiles/wormcast_net.dir/mcast_route_builder.cpp.o"
+  "CMakeFiles/wormcast_net.dir/mcast_route_builder.cpp.o.d"
+  "CMakeFiles/wormcast_net.dir/source_route.cpp.o"
+  "CMakeFiles/wormcast_net.dir/source_route.cpp.o.d"
+  "CMakeFiles/wormcast_net.dir/switch_mcast.cpp.o"
+  "CMakeFiles/wormcast_net.dir/switch_mcast.cpp.o.d"
+  "CMakeFiles/wormcast_net.dir/switch_mcast_engine.cpp.o"
+  "CMakeFiles/wormcast_net.dir/switch_mcast_engine.cpp.o.d"
+  "CMakeFiles/wormcast_net.dir/switch_rt.cpp.o"
+  "CMakeFiles/wormcast_net.dir/switch_rt.cpp.o.d"
+  "CMakeFiles/wormcast_net.dir/topologies.cpp.o"
+  "CMakeFiles/wormcast_net.dir/topologies.cpp.o.d"
+  "CMakeFiles/wormcast_net.dir/topology.cpp.o"
+  "CMakeFiles/wormcast_net.dir/topology.cpp.o.d"
+  "CMakeFiles/wormcast_net.dir/updown.cpp.o"
+  "CMakeFiles/wormcast_net.dir/updown.cpp.o.d"
+  "libwormcast_net.a"
+  "libwormcast_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wormcast_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/event_queue.cpp" "src/sim/CMakeFiles/wormcast_sim.dir/event_queue.cpp.o" "gcc" "src/sim/CMakeFiles/wormcast_sim.dir/event_queue.cpp.o.d"
+  "/root/repo/src/sim/random.cpp" "src/sim/CMakeFiles/wormcast_sim.dir/random.cpp.o" "gcc" "src/sim/CMakeFiles/wormcast_sim.dir/random.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/sim/CMakeFiles/wormcast_sim.dir/simulator.cpp.o" "gcc" "src/sim/CMakeFiles/wormcast_sim.dir/simulator.cpp.o.d"
+  "/root/repo/src/sim/stats.cpp" "src/sim/CMakeFiles/wormcast_sim.dir/stats.cpp.o" "gcc" "src/sim/CMakeFiles/wormcast_sim.dir/stats.cpp.o.d"
+  "/root/repo/src/sim/watchdog.cpp" "src/sim/CMakeFiles/wormcast_sim.dir/watchdog.cpp.o" "gcc" "src/sim/CMakeFiles/wormcast_sim.dir/watchdog.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wormcast_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/wormcast_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/wormcast_sim.dir/random.cpp.o"
+  "CMakeFiles/wormcast_sim.dir/random.cpp.o.d"
+  "CMakeFiles/wormcast_sim.dir/simulator.cpp.o"
+  "CMakeFiles/wormcast_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/wormcast_sim.dir/stats.cpp.o"
+  "CMakeFiles/wormcast_sim.dir/stats.cpp.o.d"
+  "CMakeFiles/wormcast_sim.dir/watchdog.cpp.o"
+  "CMakeFiles/wormcast_sim.dir/watchdog.cpp.o.d"
+  "libwormcast_sim.a"
+  "libwormcast_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wormcast_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

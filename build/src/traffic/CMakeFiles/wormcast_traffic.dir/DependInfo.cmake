@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/traffic/generator.cpp" "src/traffic/CMakeFiles/wormcast_traffic.dir/generator.cpp.o" "gcc" "src/traffic/CMakeFiles/wormcast_traffic.dir/generator.cpp.o.d"
+  "/root/repo/src/traffic/groups.cpp" "src/traffic/CMakeFiles/wormcast_traffic.dir/groups.cpp.o" "gcc" "src/traffic/CMakeFiles/wormcast_traffic.dir/groups.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/wormcast_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wormcast_traffic.dir/generator.cpp.o"
+  "CMakeFiles/wormcast_traffic.dir/generator.cpp.o.d"
+  "CMakeFiles/wormcast_traffic.dir/groups.cpp.o"
+  "CMakeFiles/wormcast_traffic.dir/groups.cpp.o.d"
+  "libwormcast_traffic.a"
+  "libwormcast_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wormcast_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

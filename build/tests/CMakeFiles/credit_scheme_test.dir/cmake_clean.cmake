@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/credit_scheme_test.dir/core/credit_scheme_test.cpp.o"
+  "CMakeFiles/credit_scheme_test.dir/core/credit_scheme_test.cpp.o.d"
+  "credit_scheme_test"
+  "credit_scheme_test.pdb"
+  "credit_scheme_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/credit_scheme_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

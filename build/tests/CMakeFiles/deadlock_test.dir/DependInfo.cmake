@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/deadlock_test.cpp" "tests/CMakeFiles/deadlock_test.dir/core/deadlock_test.cpp.o" "gcc" "tests/CMakeFiles/deadlock_test.dir/core/deadlock_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/wormcast_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/adapter/CMakeFiles/wormcast_adapter.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/wormcast_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/wormcast_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wormcast_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deadlock_test.dir/core/deadlock_test.cpp.o"
+  "CMakeFiles/deadlock_test.dir/core/deadlock_test.cpp.o.d"
+  "deadlock_test"
+  "deadlock_test.pdb"
+  "deadlock_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deadlock_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

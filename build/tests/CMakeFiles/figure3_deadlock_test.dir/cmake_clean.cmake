@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure3_deadlock_test.dir/net/figure3_deadlock_test.cpp.o"
+  "CMakeFiles/figure3_deadlock_test.dir/net/figure3_deadlock_test.cpp.o.d"
+  "figure3_deadlock_test"
+  "figure3_deadlock_test.pdb"
+  "figure3_deadlock_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure3_deadlock_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for figure3_deadlock_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/group_tables_test.dir/core/group_tables_test.cpp.o"
+  "CMakeFiles/group_tables_test.dir/core/group_tables_test.cpp.o.d"
+  "group_tables_test"
+  "group_tables_test.pdb"
+  "group_tables_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/group_tables_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/groups_test.dir/traffic/groups_test.cpp.o"
+  "CMakeFiles/groups_test.dir/traffic/groups_test.cpp.o.d"
+  "groups_test"
+  "groups_test.pdb"
+  "groups_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/groups_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/host_adapter_test.dir/adapter/host_adapter_test.cpp.o"
+  "CMakeFiles/host_adapter_test.dir/adapter/host_adapter_test.cpp.o.d"
+  "host_adapter_test"
+  "host_adapter_test.pdb"
+  "host_adapter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/host_adapter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

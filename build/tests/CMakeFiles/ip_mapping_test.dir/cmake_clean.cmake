@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ip_mapping_test.dir/core/ip_mapping_test.cpp.o"
+  "CMakeFiles/ip_mapping_test.dir/core/ip_mapping_test.cpp.o.d"
+  "ip_mapping_test"
+  "ip_mapping_test.pdb"
+  "ip_mapping_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ip_mapping_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ordering_test.dir/core/ordering_test.cpp.o"
+  "CMakeFiles/ordering_test.dir/core/ordering_test.cpp.o.d"
+  "ordering_test"
+  "ordering_test.pdb"
+  "ordering_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ordering_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

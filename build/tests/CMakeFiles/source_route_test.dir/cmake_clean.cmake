@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/source_route_test.dir/net/source_route_test.cpp.o"
+  "CMakeFiles/source_route_test.dir/net/source_route_test.cpp.o.d"
+  "source_route_test"
+  "source_route_test.pdb"
+  "source_route_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/source_route_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

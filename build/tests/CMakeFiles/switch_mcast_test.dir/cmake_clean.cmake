@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/switch_mcast_test.dir/net/switch_mcast_test.cpp.o"
+  "CMakeFiles/switch_mcast_test.dir/net/switch_mcast_test.cpp.o.d"
+  "switch_mcast_test"
+  "switch_mcast_test.pdb"
+  "switch_mcast_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/switch_mcast_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

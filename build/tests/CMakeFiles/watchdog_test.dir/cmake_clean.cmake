@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/watchdog_test.dir/sim/watchdog_test.cpp.o"
+  "CMakeFiles/watchdog_test.dir/sim/watchdog_test.cpp.o.d"
+  "watchdog_test"
+  "watchdog_test.pdb"
+  "watchdog_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/watchdog_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

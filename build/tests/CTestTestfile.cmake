@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/event_queue_test[1]_include.cmake")
+include("/root/repo/build/tests/simulator_test[1]_include.cmake")
+include("/root/repo/build/tests/random_test[1]_include.cmake")
+include("/root/repo/build/tests/stats_test[1]_include.cmake")
+include("/root/repo/build/tests/watchdog_test[1]_include.cmake")
+include("/root/repo/build/tests/topology_test[1]_include.cmake")
+include("/root/repo/build/tests/updown_test[1]_include.cmake")
+include("/root/repo/build/tests/source_route_test[1]_include.cmake")
+include("/root/repo/build/tests/buffer_pool_test[1]_include.cmake")
+include("/root/repo/build/tests/groups_test[1]_include.cmake")
+include("/root/repo/build/tests/group_tables_test[1]_include.cmake")
+include("/root/repo/build/tests/end_to_end_test[1]_include.cmake")
+include("/root/repo/build/tests/switch_mcast_test[1]_include.cmake")
+include("/root/repo/build/tests/deadlock_test[1]_include.cmake")
+include("/root/repo/build/tests/ordering_test[1]_include.cmake")
+include("/root/repo/build/tests/channel_test[1]_include.cmake")
+include("/root/repo/build/tests/switch_test[1]_include.cmake")
+include("/root/repo/build/tests/host_adapter_test[1]_include.cmake")
+include("/root/repo/build/tests/ip_mapping_test[1]_include.cmake")
+include("/root/repo/build/tests/generator_test[1]_include.cmake")
+include("/root/repo/build/tests/metrics_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/fabric_test[1]_include.cmake")
+include("/root/repo/build/tests/figure3_deadlock_test[1]_include.cmake")
+include("/root/repo/build/tests/credit_scheme_test[1]_include.cmake")
