@@ -28,6 +28,11 @@ struct RxProgress {
   std::int64_t payload_received = 0;
   bool complete = false;
   bool dropped = false;
+  /// The worm lost its tail to an injected fault: fewer bytes arrived than
+  /// declared. Set together with `complete` (the synthesized tail ends the
+  /// reception); cut-through transmit plans following this reception close
+  /// out early so the stub propagates instead of wedging the channel.
+  bool truncated = false;
 };
 
 enum class RxDecision : std::uint8_t { kAccept, kDrop };
@@ -53,6 +58,12 @@ class AdapterClient {
 
   /// A queued worm has completely left the adapter (tail on the wire).
   virtual void on_tx_done(const WormPtr& worm) = 0;
+
+  /// An *accepted* worm turned out to be truncated (fault-injected loss):
+  /// its bytes are discarded, on_rx_complete will not fire. The protocol
+  /// must roll back whatever on_rx_head set up (reservations, forwarding
+  /// state); the upstream sender's ACK timeout drives the retransmission.
+  virtual void on_rx_truncated(const WormPtr& worm) { (void)worm; }
 };
 
 struct AdapterConfig {
@@ -74,6 +85,8 @@ class HostAdapter final : public ByteFeed, public RxSink {
   HostAdapter& operator=(const HostAdapter&) = delete;
 
   void set_client(AdapterClient* client) { client_ = client; }
+  /// Attaches the experiment's fault injector (null = no RX-drop faults).
+  void set_fault_injector(FaultInjector* faults) { faults_ = faults; }
 
   [[nodiscard]] HostId host() const { return host_; }
   [[nodiscard]] Simulator& sim() { return sim_; }
@@ -104,6 +117,7 @@ class HostAdapter final : public ByteFeed, public RxSink {
   [[nodiscard]] std::int64_t worms_sent() const { return worms_sent_; }
   [[nodiscard]] std::int64_t worms_received() const { return worms_received_; }
   [[nodiscard]] std::int64_t worms_dropped() const { return worms_dropped_; }
+  [[nodiscard]] std::int64_t worms_truncated() const { return worms_truncated_; }
   [[nodiscard]] std::int64_t control_received() const { return control_received_; }
   [[nodiscard]] std::int64_t payload_bytes_received() const {
     return payload_bytes_received_;
@@ -137,6 +151,7 @@ class HostAdapter final : public ByteFeed, public RxSink {
   HostId host_;
   AdapterConfig config_;
   AdapterClient* client_ = nullptr;
+  FaultInjector* faults_ = nullptr;
 
   // Transmit state.
   std::deque<TxPlan> control_queue_;
@@ -156,6 +171,7 @@ class HostAdapter final : public ByteFeed, public RxSink {
   std::int64_t worms_sent_ = 0;
   std::int64_t worms_received_ = 0;
   std::int64_t worms_dropped_ = 0;
+  std::int64_t worms_truncated_ = 0;
   std::int64_t control_received_ = 0;
   std::int64_t payload_bytes_received_ = 0;
 };

@@ -333,20 +333,27 @@ void HostProtocol::issue_send(const TaskPtr& task, Task::Send& send,
     adapter_.send_cut_through(std::move(worm), task->rx);
   else
     adapter_.send(std::move(worm));
+  if (recovery_enabled())
+    arm_ack_timer(task,
+                  static_cast<std::size_t>(&send - task->sends.data()));
 }
 
 void HostProtocol::retransmit_later(const TaskPtr& task,
                                     std::size_t send_index) {
   // Exponential back-off (capped) keeps NACK storms from starving each
   // other under extreme contention; the jitter breaks retry lockstep.
-  const int attempts = std::min(task->sends[send_index].attempts++, 4);
-  const Time backoff =
-      config_.retry_backoff * (Time{1} << attempts) +
-      (config_.retry_jitter > 0 ? rng_.uniform(0, config_.retry_jitter) : 0);
+  Task::Send& pending = task->sends[send_index];
+  if (pending.retry_pending) return;  // a NACK crossed a fired timer
+  pending.retry_pending = true;
+  const Time backoff = retry_backoff_delay(config_, pending.attempts++, rng_);
   sim_.after(backoff, [this, task, send_index] {
-    metrics_.on_retransmit();
     Task::Send& send = task->sends[send_index];
-    assert(send.started && !send.acked);
+    send.retry_pending = false;
+    // The send may have resolved during the back-off: a slow ACK arrived,
+    // the send was abandoned, or the whole task was torn down.
+    if (send.acked || send.failed || task->aborted) return;
+    assert(send.started);
+    metrics_.on_retransmit();
     WormPtr worm = make_data_worm(task, send);
     // The retransmission streams from the (possibly still arriving)
     // reception; when reception has finished this is a plain buffered send.
@@ -354,13 +361,74 @@ void HostProtocol::retransmit_later(const TaskPtr& task,
       adapter_.send_cut_through(std::move(worm), task->rx);
     else
       adapter_.send(std::move(worm));
+    if (recovery_enabled()) arm_ack_timer(task, send_index);
   });
+}
+
+void HostProtocol::arm_ack_timer(const TaskPtr& task, std::size_t send_index) {
+  Task::Send& send = task->sends[send_index];
+  send.timer = sim_.after(config_.ack_timeout, [this, task, send_index] {
+    on_ack_timeout(task, send_index);
+  });
+}
+
+void HostProtocol::on_ack_timeout(const TaskPtr& task, std::size_t send_index) {
+  Task::Send& send = task->sends[send_index];
+  if (send.acked || send.failed || send.retry_pending || task->aborted) return;
+  metrics_.on_ack_timeout();
+  if (config_.max_attempts > 0 && send.attempts + 1 >= config_.max_attempts) {
+    fail_send(task, send_index);
+    return;
+  }
+  retransmit_later(task, send_index);
+}
+
+void HostProtocol::fail_send(const TaskPtr& task, std::size_t send_index) {
+  Task::Send& send = task->sends[send_index];
+  assert(send.started && !send.acked && !send.failed);
+  send.failed = true;
+  ack_wait_.erase(send_key(task->message_id, send.to));
+  metrics_.on_delivery_failed(task->ctx);
+  if (config_.total_ordering && serialized_scheme() && !send.header.relay_phase)
+    window_advance(task->group, send.to);
+  maybe_release(task);
+}
+
+void HostProtocol::abort_task(const TaskPtr& task) {
+  assert(!task->aborted);
+  task->aborted = true;
+  for (Task::Send& s : task->sends) {
+    if (!s.started || s.acked || s.failed) continue;
+    if (s.timer.valid()) {
+      sim_.cancel(s.timer);
+      s.timer = EventHandle{};
+    }
+    ack_wait_.erase(send_key(task->message_id, s.to));
+    if (config_.total_ordering && serialized_scheme() && !s.header.relay_phase)
+      window_advance(task->group, s.to);
+  }
+  if (task->reserved > 0) {
+    pool_.release(task->cls, task->reserved);
+    task->reserved = 0;
+    if (config_.scheme == Scheme::kCentralizedCredit) ++freed_credits_;
+  }
+  (task->originator ? origin_tasks_ : tasks_).erase(task->message_id);
+}
+
+void HostProtocol::remember_done(std::uint64_t key) {
+  if (!done_keys_.insert(key).second) return;
+  done_order_.push_back(key);
+  while (done_order_.size() >
+         static_cast<std::size_t>(std::max(config_.dedup_window, 1))) {
+    done_keys_.erase(done_order_.front());
+    done_order_.pop_front();
+  }
 }
 
 void HostProtocol::maybe_release(const TaskPtr& task) {
   if (!task->delivered || !task->rx_complete) return;
   for (const Task::Send& s : task->sends)
-    if (!s.started || !s.acked) return;
+    if (!s.started || (!s.acked && !s.failed)) return;
   if (task->reserved > 0) {
     pool_.release(task->cls, task->reserved);
     task->reserved = 0;
@@ -381,10 +449,29 @@ RxDecision HostProtocol::on_rx_head(const WormPtr& worm,
     return RxDecision::kAccept;  // credit control traffic
 
   const McastHeader& h = *worm->mcast;
+  const bool recovery = recovery_enabled();
+  if (recovery) {
+    // Duplicate suppression: a retransmitted copy whose predecessor's ACK
+    // was lost must be re-ACKed — its sender is still waiting — but never
+    // re-delivered or re-forwarded.
+    if (done_keys_.count(dedup_key(h.message_id, h.relay_phase)) > 0) {
+      metrics_.on_duplicate();
+      adapter_.send_control(make_control_worm(WormKind::kAck, worm));
+      return RxDecision::kDrop;
+    }
+    // A copy of a message still arriving (the sender's timeout was merely
+    // premature): drop silently; the ACK goes out when the first copy
+    // completes.
+    if (!is_confirmation(h) && tasks_.count(h.message_id) > 0) {
+      metrics_.on_duplicate();
+      return RxDecision::kDrop;
+    }
+  }
   if (is_confirmation(h)) {
     // Circuit-confirmation copy returning to its originator; terminates
-    // here, no forwarding buffer needed.
-    if (config_.reservation)
+    // here, no forwarding buffer needed. In recovery mode the ACK waits for
+    // full reception (an ACK-on-head could vouch for a truncated worm).
+    if (config_.reservation && !recovery)
       adapter_.send_control(make_control_worm(WormKind::kAck, worm));
     return RxDecision::kAccept;
   }
@@ -417,7 +504,7 @@ RxDecision HostProtocol::on_rx_head(const WormPtr& worm,
          "duplicate task for message at this adapter");
   tasks_.emplace(task->message_id, task);
 
-  if (config_.reservation)
+  if (config_.reservation && !recovery)
     adapter_.send_control(make_control_worm(WormKind::kAck, worm));
 
   if (!h.relay_phase) {
@@ -477,7 +564,14 @@ void HostProtocol::handle_mcast_data(const WormPtr& worm) {
     return;
   }
   const McastHeader& h = *worm->mcast;
+  // Recovery mode acknowledges on *full* reception, now that the worm
+  // provably survived the fabric, and remembers the completion so a
+  // retransmitted duplicate is re-ACKed instead of re-processed.
   if (is_confirmation(h)) {
+    if (recovery_enabled()) {
+      remember_done(dedup_key(h.message_id, h.relay_phase));
+      adapter_.send_control(make_control_worm(WormKind::kAck, worm));
+    }
     metrics_.on_confirmation(worm->message, sim_.now());
     return;
   }
@@ -485,6 +579,10 @@ void HostProtocol::handle_mcast_data(const WormPtr& worm) {
   assert(it != tasks_.end() && "mcast completion without task");
   TaskPtr task = it->second;
   task->rx_complete = true;
+  if (recovery_enabled()) {
+    remember_done(dedup_key(h.message_id, h.relay_phase));
+    adapter_.send_control(make_control_worm(WormKind::kAck, worm));
+  }
 
   if (h.relay_phase) {
     // We are the serializer: stamp the sequence number and start the
@@ -524,12 +622,23 @@ void HostProtocol::deliver_locally(const TaskPtr& task) {
 void HostProtocol::handle_ack(const WormPtr& worm) {
   const std::uint64_t key = send_key(worm->mcast->message_id, worm->src);
   const auto it = ack_wait_.find(key);
-  assert(it != ack_wait_.end() && "ACK without outstanding send");
+  if (it == ack_wait_.end()) {
+    // Legitimate in recovery mode: the re-ACK of a duplicate crossed with
+    // the original (slow) ACK, or the send was abandoned / its task aborted
+    // while the ACK was in flight.
+    assert(recovery_enabled() && "ACK without outstanding send");
+    return;
+  }
   TaskPtr task = it->second;
   ack_wait_.erase(it);
   for (Task::Send& s : task->sends) {
-    if (s.to == worm->src && s.started && !s.acked) {
+    if (s.to == worm->src && s.started && !s.acked && !s.failed) {
       s.acked = true;
+      s.attempts = 0;  // success clears the back-off history
+      if (s.timer.valid()) {
+        sim_.cancel(s.timer);
+        s.timer = EventHandle{};
+      }
       break;
     }
   }
@@ -541,16 +650,27 @@ void HostProtocol::handle_ack(const WormPtr& worm) {
 void HostProtocol::handle_nack(const WormPtr& worm) {
   const std::uint64_t key = send_key(worm->mcast->message_id, worm->src);
   const auto it = ack_wait_.find(key);
-  assert(it != ack_wait_.end() && "NACK without outstanding send");
+  if (it == ack_wait_.end()) {
+    assert(recovery_enabled() && "NACK without outstanding send");
+    return;
+  }
   TaskPtr task = it->second;
   for (std::size_t i = 0; i < task->sends.size(); ++i) {
     Task::Send& s = task->sends[i];
-    if (s.to == worm->src && s.started && !s.acked) {
-      retransmit_later(task, i);
+    if (s.to == worm->src && s.started && !s.acked && !s.failed) {
+      if (s.timer.valid()) {
+        sim_.cancel(s.timer);
+        s.timer = EventHandle{};
+      }
+      if (config_.max_attempts > 0 && s.attempts + 1 >= config_.max_attempts) {
+        fail_send(task, i);
+      } else {
+        retransmit_later(task, i);
+      }
       return;
     }
   }
-  assert(false && "NACK did not match a pending send");
+  assert(recovery_enabled() && "NACK did not match a pending send");
 }
 
 void HostProtocol::on_tx_done(const WormPtr& worm) {
@@ -571,6 +691,51 @@ void HostProtocol::on_tx_done(const WormPtr& worm) {
     }
   }
   maybe_release(task);
+}
+
+void HostProtocol::on_rx_truncated(const WormPtr& worm) {
+  // A worm that lost its tail to an injected fault. The accepted bytes are
+  // discarded; any forwarding state the head created is torn down so the
+  // reservation drains back to the pool. The upstream sender never gets an
+  // ACK (recovery mode only ACKs full receptions) and its timeout drives
+  // the retransmission.
+  if (worm->kind != WormKind::kData || !worm->mcast.has_value()) return;
+  if (worm->mcast->credit != CreditOp::kNone) return;
+  const auto it = tasks_.find(worm->mcast->message_id);
+  if (it == tasks_.end()) return;  // confirmation / never-accepted copy
+  const TaskPtr task = it->second;
+  // Only the task created by *this* reception: a duplicate stub arriving
+  // after the first copy completed must not kill the live task.
+  if (task->rx == nullptr || !task->rx->truncated) return;
+  abort_task(task);
+}
+
+HostProtocol::DebugSnapshot HostProtocol::debug_snapshot() const {
+  DebugSnapshot snap;
+  const auto add_task = [&snap](const TaskPtr& task) {
+    TaskDebug t;
+    t.message_id = task->message_id;
+    t.origin = task->origin;
+    t.group = task->group;
+    t.reserved = task->reserved;
+    t.rx_complete = task->rx_complete;
+    t.delivered = task->delivered;
+    t.originator = task->originator;
+    for (const Task::Send& s : task->sends)
+      t.sends.push_back(
+          SendDebug{s.to, s.started, s.acked, s.failed, s.attempts});
+    snap.tasks.push_back(std::move(t));
+  };
+  for (const auto& [id, task] : tasks_) add_task(task);
+  for (const auto& [id, task] : origin_tasks_) add_task(task);
+  std::sort(snap.tasks.begin(), snap.tasks.end(),
+            [](const TaskDebug& a, const TaskDebug& b) {
+              return a.message_id < b.message_id;
+            });
+  snap.pool_used = pool_.total_used();
+  for (const auto& [key, task] : ack_wait_) snap.ack_wait_keys.push_back(key);
+  std::sort(snap.ack_wait_keys.begin(), snap.ack_wait_keys.end());
+  return snap;
 }
 
 // --- [VLB96] centralized credit scheme ---------------------------------------
@@ -741,13 +906,15 @@ void HostProtocol::window_push(const TaskPtr& task, std::size_t send_index,
 void HostProtocol::window_advance(GroupId g, HostId to) {
   const std::uint64_t key = window_key(g, to);
   auto& queue = windows_[key];
-  if (queue.empty()) {
-    window_busy_[key] = false;
+  while (!queue.empty()) {
+    WindowEntry entry = std::move(queue.front());
+    queue.pop_front();
+    if (entry.task->aborted) continue;  // torn down while queued
+    issue_send(entry.task, entry.task->sends[entry.send_index],
+               entry.cut_through);
     return;
   }
-  WindowEntry entry = std::move(queue.front());
-  queue.pop_front();
-  issue_send(entry.task, entry.task->sends[entry.send_index], entry.cut_through);
+  window_busy_[key] = false;
 }
 
 }  // namespace wormcast

@@ -20,6 +20,7 @@
 #include <map>
 #include <memory>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "adapter/buffer_pool.h"
@@ -61,6 +62,33 @@ class HostProtocol final : public AdapterClient {
                         const std::shared_ptr<RxProgress>& rx) override;
   void on_rx_complete(const WormPtr& worm, std::int64_t payload_bytes) override;
   void on_tx_done(const WormPtr& worm) override;
+  void on_rx_truncated(const WormPtr& worm) override;
+
+  /// Snapshot of this host's recovery-relevant state, for the watchdog's
+  /// stall diagnostics and for tests that need to observe in-flight sends.
+  struct SendDebug {
+    HostId to = kNoHost;
+    bool started = false;
+    bool acked = false;
+    bool failed = false;
+    int attempts = 0;
+  };
+  struct TaskDebug {
+    std::uint64_t message_id = 0;
+    HostId origin = kNoHost;
+    GroupId group = kNoGroup;
+    std::int64_t reserved = 0;
+    bool rx_complete = false;
+    bool delivered = false;
+    bool originator = false;
+    std::vector<SendDebug> sends;
+  };
+  struct DebugSnapshot {
+    std::vector<TaskDebug> tasks;  // forwarding + originator, by message id
+    std::int64_t pool_used = 0;
+    std::vector<std::uint64_t> ack_wait_keys;  // sorted
+  };
+  [[nodiscard]] DebugSnapshot debug_snapshot() const;
 
  private:
   /// One message being held at this adapter for forwarding: the reservation
@@ -82,12 +110,16 @@ class HostProtocol final : public AdapterClient {
       McastHeader header;
       bool started = false;
       bool acked = false;
-      int attempts = 0;  // NACKed tries (drives exponential back-off)
+      bool failed = false;       // gave up after max_attempts
+      bool retry_pending = false;  // a back-off retransmission is scheduled
+      int attempts = 0;  // NACKed / timed-out tries (drives the back-off)
+      EventHandle timer;  // ACK timeout (recovery mode only)
     };
     std::vector<Send> sends;
     bool delivered = false;    // local delivery (or none needed) finished
     bool rx_complete = false;  // full worm present at this adapter
     bool originator = false;   // task created by originate(), holds no pool
+    bool aborted = false;      // torn down (truncated reception)
   };
   using TaskPtr = std::shared_ptr<Task>;
 
@@ -108,6 +140,27 @@ class HostProtocol final : public AdapterClient {
   void issue_send(const TaskPtr& task, Task::Send& send, bool cut_through);
   void retransmit_later(const TaskPtr& task, std::size_t send_index);
   void maybe_release(const TaskPtr& task);
+
+  // --- end-to-end loss recovery (ack_timeout > 0) ----------------------------
+  /// Recovery changes the ACK protocol (ACK on full reception instead of on
+  /// the head) so it is only meaningful with reservations on.
+  [[nodiscard]] bool recovery_enabled() const {
+    return config_.reservation && config_.ack_timeout > 0;
+  }
+  void arm_ack_timer(const TaskPtr& task, std::size_t send_index);
+  void on_ack_timeout(const TaskPtr& task, std::size_t send_index);
+  /// Gives up on a send (max_attempts exhausted): releases its claim on the
+  /// window, abandons the message in the metrics, and lets the task drain.
+  void fail_send(const TaskPtr& task, std::size_t send_index);
+  /// Tears down a forwarding task whose reception was truncated: cancels
+  /// timers, releases the reservation, frees its window slots.
+  void abort_task(const TaskPtr& task);
+  /// Duplicate-suppression memory of completed receptions.
+  [[nodiscard]] static std::uint64_t dedup_key(std::uint64_t message_id,
+                                               bool relay_phase) {
+    return message_id * 2 + (relay_phase ? 1 : 0);
+  }
+  void remember_done(std::uint64_t key);
 
   WormPtr make_data_worm(const TaskPtr& task, const Task::Send& send) const;
   WormPtr make_control_worm(WormKind kind, const WormPtr& data_worm) const;
@@ -164,6 +217,12 @@ class HostProtocol final : public AdapterClient {
   /// Switch-level multicast reassembly: payload bytes received so far per
   /// message (scheme (b) delivers a message as several fragments).
   std::unordered_map<std::uint64_t, std::int64_t> switch_mcast_rx_;
+  /// Recovery-mode dedup memory: keys of fully received (message, phase)
+  /// pairs, bounded FIFO of config_.dedup_window entries. A duplicate of a
+  /// remembered key is re-ACKed (its ACK was evidently lost), never
+  /// re-delivered or re-forwarded.
+  std::unordered_set<std::uint64_t> done_keys_;
+  std::deque<std::uint64_t> done_order_;
 
   // --- [VLB96] centralized credit scheme ------------------------------------
   void begin_serialized_dispatch(const TaskPtr& task);

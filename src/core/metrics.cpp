@@ -54,6 +54,11 @@ bool Metrics::on_delivered(const std::shared_ptr<MessageContext>& ctx,
   return false;
 }
 
+void Metrics::on_delivery_failed(const std::shared_ptr<MessageContext>& ctx) {
+  ++deliveries_failed_;
+  outstanding_.erase(ctx->message_id);
+}
+
 void Metrics::on_confirmation(const std::shared_ptr<MessageContext>& /*ctx*/,
                               Time /*now*/) {
   // Circuit confirmation (the worm returned to its originator); counted via

@@ -39,6 +39,13 @@ class Metrics {
   void on_nack() { ++nacks_; }
   void on_retransmit() { ++retransmits_; }
   void on_relay() { ++relays_; }
+
+  // Loss-recovery accounting (fault-injection experiments).
+  void on_ack_timeout() { ++ack_timeouts_; }
+  void on_duplicate() { ++duplicates_suppressed_; }
+  /// A send exhausted max_attempts: the message is abandoned, not merely
+  /// late, so it stops counting as outstanding (the run can drain).
+  void on_delivery_failed(const std::shared_ptr<MessageContext>& ctx);
   void on_confirmation(const std::shared_ptr<MessageContext>& ctx, Time now);
 
   /// Delivery order audit trail: per host, the (group, message) sequence
@@ -58,6 +65,13 @@ class Metrics {
   [[nodiscard]] std::int64_t nacks() const { return nacks_; }
   [[nodiscard]] std::int64_t retransmits() const { return retransmits_; }
   [[nodiscard]] std::int64_t relays() const { return relays_; }
+  [[nodiscard]] std::int64_t ack_timeouts() const { return ack_timeouts_; }
+  [[nodiscard]] std::int64_t duplicates_suppressed() const {
+    return duplicates_suppressed_;
+  }
+  [[nodiscard]] std::int64_t deliveries_failed() const {
+    return deliveries_failed_;
+  }
   [[nodiscard]] std::int64_t messages_created() const { return created_; }
   [[nodiscard]] std::int64_t messages_completed() const { return completed_; }
   [[nodiscard]] std::int64_t payload_delivered() const { return payload_delivered_; }
@@ -83,6 +97,9 @@ class Metrics {
   std::int64_t nacks_ = 0;
   std::int64_t retransmits_ = 0;
   std::int64_t relays_ = 0;
+  std::int64_t ack_timeouts_ = 0;
+  std::int64_t duplicates_suppressed_ = 0;
+  std::int64_t deliveries_failed_ = 0;
   std::int64_t created_ = 0;
   std::int64_t completed_ = 0;
   std::int64_t payload_delivered_ = 0;

@@ -1,5 +1,6 @@
 #include "core/network.h"
 
+#include <sstream>
 #include <utility>
 
 #include "net/mcast_route_builder.h"
@@ -23,12 +24,17 @@ Network::Network(Topology topo, std::vector<MulticastGroupSpec> groups,
   tables_ = std::make_unique<GroupTables>(groups_, *routing_,
                                           config_.protocol.max_tree_fanout);
   RandomStream master(config_.seed);
+  // The injector always exists (unarmed when no faults are configured) so
+  // tests can force faults or schedule outages without rebuilding.
+  faults_ = std::make_unique<FaultInjector>(master.fork(0xFA017), config_.faults);
+  fabric_->install_fault_injector(faults_.get());
   const int n = topo_.num_hosts();
   adapters_.reserve(static_cast<std::size_t>(n));
   protocols_.reserve(static_cast<std::size_t>(n));
   for (HostId h = 0; h < n; ++h) {
     adapters_.push_back(
         std::make_unique<HostAdapter>(sim_, *fabric_, h, config_.adapter));
+    adapters_.back()->set_fault_injector(faults_.get());
     protocols_.push_back(std::make_unique<HostProtocol>(
         sim_, *adapters_.back(), *routing_, *tables_, metrics_,
         config_.protocol, master.fork(0x5000 + static_cast<std::uint64_t>(h)),
@@ -127,7 +133,51 @@ Network::Summary Network::summary() const {
   s.outstanding = metrics_.outstanding();
   s.oldest_outstanding_age = metrics_.oldest_outstanding_age(sim_.now());
   s.fabric_overflows = fabric_->total_overflows();
+  s.faults_injected = faults_->total_injected();
+  s.ack_timeouts = metrics_.ack_timeouts();
+  s.duplicates_suppressed = metrics_.duplicates_suppressed();
+  s.deliveries_failed = metrics_.deliveries_failed();
+  s.messages_completed = metrics_.messages_completed();
   return s;
+}
+
+DeadlockWatchdog& Network::attach_watchdog(Time interval) {
+  watchdog_ = std::make_unique<DeadlockWatchdog>(
+      sim_, interval, [this] { return metrics_.outstanding(); }, nullptr);
+  watchdog_->set_diagnostics([this] { return debug_report(); });
+  watchdog_->arm();
+  return *watchdog_;
+}
+
+std::string Network::debug_report() const {
+  std::ostringstream out;
+  out << "t=" << sim_.now() << " outstanding=" << metrics_.outstanding()
+      << " faults=" << faults_->total_injected() << '\n';
+  for (HostId h = 0; h < topo_.num_hosts(); ++h) {
+    const HostProtocol::DebugSnapshot snap = protocols_[h]->debug_snapshot();
+    out << "host " << h << ": tasks=" << snap.tasks.size()
+        << " pool_used=" << snap.pool_used
+        << " ack_wait=" << snap.ack_wait_keys.size()
+        << " txq=" << adapters_[h]->tx_queue_depth() << '\n';
+    for (const HostProtocol::TaskDebug& t : snap.tasks) {
+      out << "  msg=" << t.message_id << " origin=" << t.origin
+          << " group=" << t.group << " reserved=" << t.reserved
+          << (t.rx_complete ? " rx-done" : " rx-partial")
+          << (t.delivered ? " delivered" : "")
+          << (t.originator ? " originator" : "") << " sends=[";
+      for (std::size_t i = 0; i < t.sends.size(); ++i) {
+        const HostProtocol::SendDebug& sd = t.sends[i];
+        if (i > 0) out << ' ';
+        out << sd.to << ':'
+            << (sd.failed ? "failed"
+                          : (sd.acked ? "acked"
+                                      : (sd.started ? "unacked" : "queued")));
+        if (sd.attempts > 0) out << "(a" << sd.attempts << ')';
+      }
+      out << "]\n";
+    }
+  }
+  return out.str();
 }
 
 }  // namespace wormcast

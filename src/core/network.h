@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "adapter/host_adapter.h"
@@ -17,7 +18,9 @@
 #include "net/switch_mcast_engine.h"
 #include "net/topology.h"
 #include "net/updown.h"
+#include "sim/fault_injector.h"
 #include "sim/simulator.h"
+#include "sim/watchdog.h"
 #include "traffic/generator.h"
 #include "traffic/groups.h"
 
@@ -30,6 +33,9 @@ struct ExperimentConfig {
   TrafficConfig traffic;
   UpDownOptions routing;
   SwitchMcastConfig switch_mcast;
+  /// Injected faults (all rates 0 = the lossless fabric). Pair nonzero
+  /// rates with protocol.ack_timeout so senders can actually recover.
+  FaultConfig faults;
   std::uint64_t seed = 1;
 };
 
@@ -78,6 +84,21 @@ class Network {
   [[nodiscard]] int num_hosts() const { return topo_.num_hosts(); }
   [[nodiscard]] HostAdapter& adapter(HostId h) { return *adapters_[h]; }
   [[nodiscard]] HostProtocol& protocol(HostId h) { return *protocols_[h]; }
+  /// The experiment's fault injector (always present; unarmed when no
+  /// faults are configured). Tests use it to force deterministic faults or
+  /// schedule link outages before/while running.
+  [[nodiscard]] FaultInjector& faults() { return *faults_; }
+
+  /// One-line-per-host dump of recovery-relevant state (active tasks, pool
+  /// bytes held, un-ACKed sends, adapter queue depths) — what the deadlock
+  /// watchdog prints when a faulted run stalls.
+  [[nodiscard]] std::string debug_report() const;
+
+  /// Arms a deadlock watchdog over this network: if `interval` byte-times
+  /// pass with messages outstanding but no byte moving, it captures
+  /// debug_report() (echoed to stderr) so a hung run explains itself.
+  /// Returns the watchdog for inspection; lives as long as the Network.
+  DeadlockWatchdog& attach_watchdog(Time interval);
 
   /// Aggregate results of the last run.
   struct Summary {
@@ -96,6 +117,12 @@ class Network {
     std::int64_t outstanding = 0;          // undelivered at end (stall sign)
     Time oldest_outstanding_age = 0;
     std::int64_t fabric_overflows = 0;     // must be 0
+    // Fault-injection experiments.
+    std::int64_t faults_injected = 0;      // kills + ctrl/rx drops + outages
+    std::int64_t ack_timeouts = 0;
+    std::int64_t duplicates_suppressed = 0;
+    std::int64_t deliveries_failed = 0;    // sends abandoned (max_attempts)
+    std::int64_t messages_completed = 0;
   };
   [[nodiscard]] Summary summary() const;
 
@@ -106,6 +133,7 @@ class Network {
   Simulator sim_;
   Metrics metrics_;
   std::unique_ptr<Fabric> fabric_;
+  std::unique_ptr<FaultInjector> faults_;
   std::unique_ptr<UpDownRouting> routing_;
   std::unique_ptr<UpDownRouting> tree_routing_;  // spanning-tree-only paths
   std::unique_ptr<SwitchMcastEngine> mcast_engine_;
@@ -113,6 +141,7 @@ class Network {
   std::vector<std::unique_ptr<HostAdapter>> adapters_;
   std::vector<std::unique_ptr<HostProtocol>> protocols_;
   std::unique_ptr<TrafficGenerator> traffic_;
+  std::unique_ptr<DeadlockWatchdog> watchdog_;
   Time measure_span_ = 0;
   std::int64_t egress_at_window_start_ = 0;
   std::int64_t egress_at_window_end_ = 0;

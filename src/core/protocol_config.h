@@ -3,6 +3,7 @@
 
 #include <cstdint>
 
+#include "sim/random.h"
 #include "sim/types.h"
 
 namespace wormcast {
@@ -91,6 +92,26 @@ struct ProtocolConfig {
   Time retry_backoff = 4000;
   Time retry_jitter = 2000;
 
+  /// End-to-end loss recovery (used with a FaultInjector, see
+  /// ExperimentConfig::faults). When > 0 every un-ACKed send arms a timer:
+  /// expiry retransmits with the same capped exponential back-off as a
+  /// NACK. Receivers then defer their ACK from the worm's head to its full
+  /// reception (an ACK-on-head could acknowledge a worm whose tail is later
+  /// lost) and deduplicate retransmitted copies by message id. 0 = off:
+  /// the lossless-fabric behaviour, a lost worm would wedge its sender.
+  Time ack_timeout = 0;
+
+  /// Give up on a send after this many transmissions (timer expiries and
+  /// NACKs both count): the reservation is released and the miss is counted
+  /// as a `deliveries_failed`. 0 = retry forever (a recoverable fault
+  /// pattern then guarantees eventual delivery).
+  int max_attempts = 0;
+
+  /// Receivers remember this many recently completed (message, phase) keys
+  /// for duplicate suppression; a duplicate whose ACK was lost is re-ACKed
+  /// from this memory instead of being re-delivered or re-forwarded.
+  int dedup_window = 4096;
+
   /// Cap children per node in the rooted tree (0 = unlimited; 2 mimics the
   /// binary trees of [VLB96]).
   int max_tree_fanout = 0;
@@ -103,5 +124,12 @@ struct ProtocolConfig {
   /// Gap between credit-gathering token circulations.
   Time token_interval = 5'000;
 };
+
+/// Delay before retransmission number `prior_attempts + 1`: exponential
+/// back-off, capped at 16x the base so a long-outage survivor still probes
+/// at a bounded rate, plus uniform jitter so hosts never retry in lockstep.
+/// Shared by the NACK and ACK-timeout paths (and unit-tested directly).
+[[nodiscard]] Time retry_backoff_delay(const ProtocolConfig& config,
+                                       int prior_attempts, RandomStream& rng);
 
 }  // namespace wormcast

@@ -35,16 +35,72 @@ void Channel::pump() {
   const TxByte b = feed_->take_byte();
   last_send_ = sim_.now();
   ++bytes_sent_;
-  in_flight_.push_back(InFlight{b.head, b.tail, b.worm, b.wire_len});
-  sim_.after(delay_, [this] { deliver_front(); });
+  if (b.head && faults_ != nullptr && faults_->armed()) classify_fault(b);
+
+  bool deliver = true;
+  bool synth_tail = false;
+  switch (fault_mode_) {
+    case FaultMode::kNone:
+      break;
+    case FaultMode::kSwallow:
+      deliver = false;
+      break;
+    case FaultMode::kTruncate:
+      if (fault_pass_left_ > 0) {
+        --fault_pass_left_;
+        synth_tail = (fault_pass_left_ == 0);
+      } else {
+        deliver = false;
+      }
+      break;
+  }
+  if (deliver) {
+    in_flight_.push_back(
+        InFlight{b.head, b.tail || synth_tail, b.worm, b.wire_len});
+    sim_.after(delay_, [this] { deliver_front(); });
+  } else {
+    // Swallowed bytes still count as global progress: the transmitter is
+    // draining, so the network is not deadlocked, merely lossy.
+    sim_.note_progress(1);
+  }
 
   if (b.tail) {
+    fault_mode_ = FaultMode::kNone;
     ByteFeed* done = feed_;
     feed_ = nullptr;
     done->on_tail_sent();  // may attach a new feed (re-entrant safe)
   } else {
     schedule_pump();
   }
+}
+
+void Channel::classify_fault(const TxByte& b) {
+  fault_mode_ = FaultMode::kNone;
+  const WormPtr& w = b.worm;
+  if (faults_->link_down(this, sim_.now())) {
+    fault_mode_ = FaultMode::kSwallow;
+    return;
+  }
+  if (w->kind == WormKind::kAck || w->kind == WormKind::kNack) {
+    if (faults_->should_drop_control()) fault_mode_ = FaultMode::kSwallow;
+    return;
+  }
+  // Only plain data worms are eligible for mid-flight kills: switch-level
+  // multicast worms (advisory framing, no end-to-end recovery protocol) and
+  // credit-scheme control worms are exempt.
+  if (w->kind != WormKind::kData) return;
+  if (w->mcast.has_value() && w->mcast->credit != CreditOp::kNone) return;
+  if (w->truncated) return;  // already killed upstream
+  // A truncated stub must stay frameable: each remaining switch strips one
+  // route byte and the final adapter still needs a head and a tail byte.
+  const auto remaining_hops =
+      static_cast<std::int64_t>(w->route.size() - w->route_offset);
+  const std::int64_t min_len = remaining_hops + 2;
+  if (b.wire_len - 1 < min_len) return;  // too short to kill cleanly
+  if (!faults_->should_kill_worm(w->dst)) return;
+  w->truncated = true;
+  fault_mode_ = FaultMode::kTruncate;
+  fault_pass_left_ = faults_->pick_truncation(min_len, b.wire_len - 1);
 }
 
 void Channel::deliver_front() {

@@ -15,6 +15,7 @@
 #include <memory>
 
 #include "net/worm.h"
+#include "sim/fault_injector.h"
 #include "sim/simulator.h"
 #include "sim/types.h"
 
@@ -79,6 +80,13 @@ class Channel {
   /// Sets the receiver; must be done before any traffic flows.
   void set_sink(RxSink* sink) { sink_ = sink; }
 
+  /// Attaches the experiment's fault injector (null = lossless). Consulted
+  /// once per worm head; a worm the injector condemns is truncated (data)
+  /// or swallowed whole (control / outage). The feed side is unaffected:
+  /// the transmitter still drains its bytes and sees on_tail_sent, exactly
+  /// as if a real link had corrupted the worm downstream of it.
+  void set_fault_injector(FaultInjector* faults) { faults_ = faults; }
+
   /// Receiver-side flow control: schedule a STOP (GO) to take effect at the
   /// transmitter after the propagation delay.
   void signal_stop();
@@ -96,19 +104,30 @@ class Channel {
     std::int64_t wire_len = 0;  // head only
   };
 
+  /// Per-worm fault classification, decided at the head byte.
+  enum class FaultMode : std::uint8_t {
+    kNone,      // deliver every byte
+    kTruncate,  // deliver fault_pass_left_ bytes, synthesize a tail, swallow
+    kSwallow,   // deliver nothing (control loss / link outage)
+  };
+
   void pump();
   void schedule_pump();
   void deliver_front();
+  void classify_fault(const TxByte& b);
 
   Simulator& sim_;
   Time delay_;
   ByteFeed* feed_ = nullptr;
   RxSink* sink_ = nullptr;
+  FaultInjector* faults_ = nullptr;
   bool stopped_ = false;
   bool pump_scheduled_ = false;
   Time last_send_ = -1;
   std::int64_t bytes_sent_ = 0;
   std::deque<InFlight> in_flight_;
+  FaultMode fault_mode_ = FaultMode::kNone;
+  std::int64_t fault_pass_left_ = 0;  // kTruncate: bytes still delivered
 };
 
 }  // namespace wormcast

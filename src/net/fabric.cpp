@@ -60,6 +60,10 @@ void Fabric::install_mcast_engine(McastEngine* engine) {
     if (sw) sw->set_mcast_engine(engine);
 }
 
+void Fabric::install_fault_injector(FaultInjector* faults) {
+  for (auto& ch : channels_) ch->set_fault_injector(faults);
+}
+
 std::int64_t Fabric::total_overflows() const {
   std::int64_t total = 0;
   for (const auto& sw : switches_)

@@ -43,6 +43,9 @@ class Fabric {
   /// Installs a switch-level multicast engine on every switch.
   void install_mcast_engine(McastEngine* engine);
 
+  /// Installs the experiment's fault injector on every channel.
+  void install_fault_injector(FaultInjector* faults);
+
   /// Sum of slack-buffer overflow events across switches (must stay 0).
   [[nodiscard]] std::int64_t total_overflows() const;
 

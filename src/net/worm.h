@@ -96,6 +96,12 @@ struct Worm {
   /// source retransmits after a random timeout.
   bool flushed = false;
 
+  /// Set by the fault injector when a link killed this worm mid-flight:
+  /// the channel synthesized the tail early, so fewer than the declared
+  /// wire-length bytes will arrive. Receivers detect the shortfall, discard
+  /// the stub, and rely on the sender's ACK timeout to retransmit.
+  bool truncated = false;
+
   std::optional<McastHeader> mcast;
   std::shared_ptr<MessageContext> message;
   /// The credit-gathering token's per-host collected counts (the token's

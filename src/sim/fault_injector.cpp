@@ -1,0 +1,102 @@
+#include "sim/fault_injector.h"
+
+#include <cassert>
+#include <utility>
+
+namespace wormcast {
+
+FaultInjector::FaultInjector(RandomStream rng, FaultConfig config)
+    : rng_(std::move(rng)), config_(config) {
+  assert(config_.worm_kill_rate >= 0.0 && config_.worm_kill_rate <= 1.0);
+  assert(config_.ctrl_loss_rate >= 0.0 && config_.ctrl_loss_rate <= 1.0);
+  assert(config_.rx_drop_rate >= 0.0 && config_.rx_drop_rate <= 1.0);
+  rearm();
+}
+
+void FaultInjector::rearm() {
+  armed_ = config_.any() || !outages_.empty() || !forced_kills_.empty() ||
+           forced_ctrl_drops_ > 0 || forced_rx_drops_ > 0;
+}
+
+bool FaultInjector::should_kill_worm(HostId dst) {
+  for (auto it = forced_kills_.begin(); it != forced_kills_.end(); ++it) {
+    if (it->dst != kNoHost && it->dst != dst) continue;
+    forced_kills_.erase(it);
+    ++worms_killed_;
+    rearm();
+    return true;
+  }
+  if (config_.worm_kill_rate > 0.0 && rng_.chance(config_.worm_kill_rate)) {
+    ++worms_killed_;
+    return true;
+  }
+  return false;
+}
+
+bool FaultInjector::should_drop_control() {
+  if (forced_ctrl_drops_ > 0) {
+    --forced_ctrl_drops_;
+    ++controls_dropped_;
+    rearm();
+    return true;
+  }
+  if (config_.ctrl_loss_rate > 0.0 && rng_.chance(config_.ctrl_loss_rate)) {
+    ++controls_dropped_;
+    return true;
+  }
+  return false;
+}
+
+std::int64_t FaultInjector::pick_truncation(std::int64_t min_len,
+                                            std::int64_t max_len) {
+  assert(min_len >= 1 && min_len <= max_len);
+  return rng_.uniform(min_len, max_len);
+}
+
+bool FaultInjector::should_drop_rx() {
+  if (forced_rx_drops_ > 0) {
+    --forced_rx_drops_;
+    ++rx_dropped_;
+    rearm();
+    return true;
+  }
+  if (config_.rx_drop_rate > 0.0 && rng_.chance(config_.rx_drop_rate)) {
+    ++rx_dropped_;
+    return true;
+  }
+  return false;
+}
+
+void FaultInjector::schedule_outage(const void* channel, Time from, Time until) {
+  assert(from < until);
+  outages_.push_back(Outage{channel, from, until});
+  rearm();
+}
+
+bool FaultInjector::link_down(const void* channel, Time now) {
+  for (const Outage& o : outages_) {
+    if (o.channel != nullptr && o.channel != channel) continue;
+    if (now >= o.from && now < o.until) {
+      ++outage_drops_;
+      return true;
+    }
+  }
+  return false;
+}
+
+void FaultInjector::force_kill_data(int count, HostId dst) {
+  for (int i = 0; i < count; ++i) forced_kills_.push_back(ForcedKill{dst});
+  rearm();
+}
+
+void FaultInjector::force_drop_control(int count) {
+  forced_ctrl_drops_ += count;
+  rearm();
+}
+
+void FaultInjector::force_drop_rx(int count) {
+  forced_rx_drops_ += count;
+  rearm();
+}
+
+}  // namespace wormcast

@@ -1,0 +1,139 @@
+// Deterministic fault injection for loss-recovery experiments.
+//
+// The fabric and the adapters are lossless by construction, so nothing in
+// the simulator could previously exercise the paper's "retransmit after
+// timeout" claims (Sections 4-6): a worm, once injected, always arrived.
+// The FaultInjector is a single seedable oracle, owned by Network and
+// consulted by every Channel and HostAdapter, that can
+//   * kill a data worm mid-flight on a link (truncation: the tail is
+//     synthesized early and the rest of the worm is swallowed),
+//   * swallow a control worm (ACK/NACK) whole,
+//   * drop a worm at an adapter's receive engine before the protocol
+//     sees it, and
+//   * take a link down for a scheduled interval (every crossing worm
+//     during the outage is swallowed).
+//
+// All probabilistic draws come from one forked RandomStream, so a given
+// (seed, config) pair injects the identical fault sequence on every run —
+// the property the seed-stability ctest pins down. Tests can also force
+// specific faults deterministically (force_kill_data etc.); forced faults
+// are consumed before any probability is rolled.
+//
+// The "no faults configured" fast path: armed() is a cached bool, and the
+// hook sites check it before anything else, so a fault-free simulation pays
+// one pointer test plus one bool test per worm head.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "sim/random.h"
+#include "sim/types.h"
+
+namespace wormcast {
+
+/// Probabilities are per link crossing (a multi-hop worm rolls once per
+/// channel it enters), matching how independent per-link bit errors would
+/// strike a real cut-through fabric.
+struct FaultConfig {
+  /// Probability that a data worm entering a channel is truncated there.
+  double worm_kill_rate = 0.0;
+  /// Probability that an ACK/NACK entering a channel is swallowed whole.
+  double ctrl_loss_rate = 0.0;
+  /// Probability that an adapter receive engine discards an arriving worm
+  /// at its head (models a busy/faulty LANai dropping a packet).
+  double rx_drop_rate = 0.0;
+
+  [[nodiscard]] bool any() const {
+    return worm_kill_rate > 0.0 || ctrl_loss_rate > 0.0 || rx_drop_rate > 0.0;
+  }
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(RandomStream rng, FaultConfig config = {});
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// False means no fault can ever fire: hook sites skip all other calls.
+  [[nodiscard]] bool armed() const { return armed_; }
+
+  // --- channel-side decisions (rolled at a worm's head byte) -----------------
+
+  /// Should the data worm currently entering a channel be truncated there?
+  /// `dst` is the worm's hop destination (used to match forced kills).
+  bool should_kill_worm(HostId dst);
+
+  /// Should the ACK/NACK currently entering a channel be swallowed?
+  bool should_drop_control();
+
+  /// How many bytes of a killed worm to let through before synthesizing the
+  /// tail, uniform in [min_len, max_len] (the caller computes min_len so the
+  /// stub stays frameable through the remaining switches).
+  std::int64_t pick_truncation(std::int64_t min_len, std::int64_t max_len);
+
+  // --- adapter-side decision -------------------------------------------------
+
+  /// Should the adapter receive engine drop the worm whose head just arrived?
+  bool should_drop_rx();
+
+  // --- scheduled link outages ------------------------------------------------
+
+  /// Takes a link down for [from, until): every worm entering the channel in
+  /// that window is swallowed whole. `channel` is the Channel's address
+  /// (an opaque identity key); nullptr means "every channel".
+  void schedule_outage(const void* channel, Time from, Time until);
+
+  /// Is the channel inside an outage window at `now`? Counts a drop when
+  /// true (callers only ask at a worm head they are about to swallow).
+  bool link_down(const void* channel, Time now);
+
+  // --- forced faults (deterministic test hooks) ------------------------------
+
+  /// Kill the next `count` eligible data worms; when `dst != kNoHost` only
+  /// worms headed for that hop destination match.
+  void force_kill_data(int count, HostId dst = kNoHost);
+  /// Swallow the next `count` ACK/NACK worms entering any channel.
+  void force_drop_control(int count);
+  /// Drop the next `count` worms at any adapter receive engine.
+  void force_drop_rx(int count);
+
+  // --- counters --------------------------------------------------------------
+
+  [[nodiscard]] std::int64_t worms_killed() const { return worms_killed_; }
+  [[nodiscard]] std::int64_t controls_dropped() const { return controls_dropped_; }
+  [[nodiscard]] std::int64_t rx_dropped() const { return rx_dropped_; }
+  [[nodiscard]] std::int64_t outage_drops() const { return outage_drops_; }
+  [[nodiscard]] std::int64_t total_injected() const {
+    return worms_killed_ + controls_dropped_ + rx_dropped_ + outage_drops_;
+  }
+
+ private:
+  void rearm();
+
+  RandomStream rng_;
+  FaultConfig config_;
+  bool armed_ = false;
+
+  struct Outage {
+    const void* channel = nullptr;  // nullptr = every channel
+    Time from = 0;
+    Time until = 0;
+  };
+  std::vector<Outage> outages_;
+
+  struct ForcedKill {
+    HostId dst = kNoHost;  // kNoHost = any destination
+  };
+  std::deque<ForcedKill> forced_kills_;
+  int forced_ctrl_drops_ = 0;
+  int forced_rx_drops_ = 0;
+
+  std::int64_t worms_killed_ = 0;
+  std::int64_t controls_dropped_ = 0;
+  std::int64_t rx_dropped_ = 0;
+  std::int64_t outage_drops_ = 0;
+};
+
+}  // namespace wormcast

@@ -1,6 +1,7 @@
 #include "sim/watchdog.h"
 
 #include <cassert>
+#include <cstdio>
 #include <utility>
 
 namespace wormcast {
@@ -25,6 +26,11 @@ void DeadlockWatchdog::check() {
   if (progress == last_progress_ && outstanding_() > 0) {
     detected_ = true;
     detection_time_ = sim_.now();
+    if (diagnostics_) {
+      report_ = diagnostics_();
+      std::fprintf(stderr, "wormcast watchdog: stall at t=%lld\n%s",
+                   static_cast<long long>(detection_time_), report_.c_str());
+    }
     if (on_deadlock_) on_deadlock_();
     return;
   }

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include "core/network.h"
+#include "net/topologies.h"
+
 namespace wormcast {
 namespace {
 
@@ -67,6 +70,78 @@ TEST(BufferPool, ZeroByteReservationAlwaysFits) {
   EXPECT_TRUE(p.try_reserve(0, 5));
   EXPECT_TRUE(p.try_reserve(0, 0));
   EXPECT_EQ(p.used(0), 5);
+}
+
+// --- Pool accounting under injected faults ---------------------------------
+// A worm that never fully arrives must not strand the bytes it reserved:
+// whether it is refused at the head (RX drop fault) or cut off mid-flight
+// (worm kill), every pool in the network has to read zero once the run
+// settles.
+
+ExperimentConfig faulted_pool_config() {
+  ExperimentConfig cfg;
+  cfg.protocol.scheme = Scheme::kHamiltonianSF;
+  cfg.protocol.ack_timeout = 10'000;
+  cfg.protocol.retry_backoff = 2'000;
+  cfg.protocol.retry_jitter = 0;
+  return cfg;
+}
+
+MulticastGroupSpec star_group(int n) {
+  MulticastGroupSpec group;
+  group.id = 0;
+  for (HostId h = 0; h < n; ++h) group.members.push_back(h);
+  return group;
+}
+
+void inject_one(Network& net, std::int64_t length) {
+  Demand d;
+  d.src = 0;
+  d.multicast = true;
+  d.group = 0;
+  d.length = length;
+  net.inject(d);
+}
+
+void expect_pools_empty(Network& net) {
+  for (HostId h = 0; h < net.num_hosts(); ++h) {
+    EXPECT_EQ(net.protocol(h).pool().total_used(), 0) << "host " << h;
+    EXPECT_EQ(net.protocol(h).active_tasks(), 0u) << "host " << h;
+  }
+}
+
+TEST(BufferPool, RxDropFaultLeavesEveryPoolEmpty) {
+  Network net(make_star(4), {star_group(4)}, faulted_pool_config());
+  // The first data reception at any adapter is refused before the pool is
+  // touched; the retransmission then lands normally.
+  net.faults().force_drop_rx(1);
+  inject_one(net, 400);
+  net.run_to_quiescence();
+  EXPECT_EQ(net.summary().faults_injected, 1);
+  EXPECT_EQ(net.metrics().messages_completed(), 1);
+  expect_pools_empty(net);
+}
+
+TEST(BufferPool, TruncatedWormReleasesItsReservation) {
+  Network net(make_star(4), {star_group(4)}, faulted_pool_config());
+  // Kill the first data worm mid-flight: the receiver has already reserved
+  // pool space for the declared length and must give it back on discard.
+  net.faults().force_kill_data(1);
+  inject_one(net, 400);
+  net.run_to_quiescence();
+  EXPECT_EQ(net.summary().faults_injected, 1);
+  EXPECT_EQ(net.metrics().messages_completed(), 1);
+  expect_pools_empty(net);
+}
+
+TEST(BufferPool, RepeatedTruncationStillDrainsToZero) {
+  Network net(make_star(4), {star_group(4)}, faulted_pool_config());
+  net.faults().force_kill_data(5);
+  inject_one(net, 600);
+  net.run_to_quiescence();
+  EXPECT_EQ(net.summary().faults_injected, 5);
+  EXPECT_EQ(net.metrics().messages_completed(), 1);
+  expect_pools_empty(net);
 }
 
 }  // namespace

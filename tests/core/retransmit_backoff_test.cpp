@@ -1,0 +1,123 @@
+// Retransmission backoff policy: exponential growth with a hard cap,
+// jitter that stays in bounds but decorrelates senders, and the attempt
+// counter resetting once a send is finally acknowledged.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/network.h"
+#include "core/protocol_config.h"
+#include "net/topologies.h"
+#include "sim/random.h"
+
+namespace wormcast {
+namespace {
+
+TEST(RetryBackoff, DoublesPerAttemptWithoutJitter) {
+  ProtocolConfig cfg;
+  cfg.retry_backoff = 1'000;
+  cfg.retry_jitter = 0;
+  RandomStream rng(7);
+  EXPECT_EQ(retry_backoff_delay(cfg, 0, rng), 1'000);
+  EXPECT_EQ(retry_backoff_delay(cfg, 1, rng), 2'000);
+  EXPECT_EQ(retry_backoff_delay(cfg, 2, rng), 4'000);
+  EXPECT_EQ(retry_backoff_delay(cfg, 3, rng), 8'000);
+}
+
+TEST(RetryBackoff, CapsAtSixteenTimesBase) {
+  ProtocolConfig cfg;
+  cfg.retry_backoff = 1'000;
+  cfg.retry_jitter = 0;
+  RandomStream rng(7);
+  for (int attempts = 4; attempts <= 12; ++attempts) {
+    EXPECT_EQ(retry_backoff_delay(cfg, attempts, rng), 16'000)
+        << "attempts=" << attempts;
+  }
+}
+
+TEST(RetryBackoff, JitterStaysWithinConfiguredBound) {
+  ProtocolConfig cfg;
+  cfg.retry_backoff = 1'000;
+  cfg.retry_jitter = 500;
+  RandomStream rng(21);
+  for (int i = 0; i < 200; ++i) {
+    const Time d = retry_backoff_delay(cfg, 2, rng);
+    EXPECT_GE(d, 4'000);
+    EXPECT_LE(d, 4'500);
+  }
+}
+
+// Two hosts with different RNG streams must not retry in lockstep, or a
+// collision that killed both worms once will kill every retransmission too.
+TEST(RetryBackoff, IndependentStreamsDecorrelate) {
+  ProtocolConfig cfg;
+  cfg.retry_backoff = 1'000;
+  cfg.retry_jitter = 800;
+  RandomStream master(99);
+  RandomStream a = master.fork(1);
+  RandomStream b = master.fork(2);
+  std::vector<Time> da;
+  std::vector<Time> db;
+  for (int i = 0; i < 32; ++i) {
+    da.push_back(retry_backoff_delay(cfg, i % 5, a));
+    db.push_back(retry_backoff_delay(cfg, i % 5, b));
+  }
+  EXPECT_NE(da, db);
+}
+
+// End-to-end attempt accounting on a star: the root's send to one child is
+// killed repeatedly (attempts climbs), the other child's send is killed
+// once and then ACKed (attempts resets to zero on success).
+TEST(RetryBackoff, AttemptsResetOnceAcked) {
+  ExperimentConfig cfg;
+  cfg.protocol.scheme = Scheme::kTreeSF;
+  cfg.protocol.ack_timeout = 5'000;
+  cfg.protocol.retry_backoff = 2'000;
+  cfg.protocol.retry_jitter = 0;
+  MulticastGroupSpec group;
+  group.id = 0;
+  group.members = {0, 1, 2};
+  Network net(make_star(3), {group}, cfg);
+  net.faults().force_kill_data(1, /*dst=*/1);
+  net.faults().force_kill_data(3, /*dst=*/2);
+
+  Demand d;
+  d.src = 0;
+  d.multicast = true;
+  d.group = 0;
+  d.length = 200;
+  net.inject(d);
+
+  // By t=25k the send to host 1 has been retried once and ACKed; the send
+  // to host 2 is still failing (third kill lands around t=16k, next retry
+  // waits out an 8k backoff).
+  net.run_until(25'000);
+  const HostProtocol::DebugSnapshot snap = net.protocol(0).debug_snapshot();
+  ASSERT_EQ(snap.tasks.size(), 1u);
+  bool saw1 = false;
+  bool saw2 = false;
+  for (const HostProtocol::SendDebug& s : snap.tasks[0].sends) {
+    if (s.to == 1) {
+      saw1 = true;
+      EXPECT_TRUE(s.acked);
+      EXPECT_EQ(s.attempts, 0) << "attempts must reset when the ACK arrives";
+    } else if (s.to == 2) {
+      saw2 = true;
+      EXPECT_FALSE(s.acked);
+      EXPECT_GE(s.attempts, 2);
+    }
+  }
+  EXPECT_TRUE(saw1);
+  EXPECT_TRUE(saw2);
+
+  net.run_to_quiescence();
+  EXPECT_EQ(net.metrics().messages_completed(), 1);
+  EXPECT_EQ(net.metrics().outstanding(), 0);
+  for (HostId h = 0; h < net.num_hosts(); ++h) {
+    EXPECT_EQ(net.protocol(h).pool().total_used(), 0) << "host " << h;
+    EXPECT_EQ(net.protocol(h).active_tasks(), 0u) << "host " << h;
+  }
+}
+
+}  // namespace
+}  // namespace wormcast

@@ -44,6 +44,37 @@ TEST(DeadlockWatchdog, ProgressSuppressesAlarm) {
   EXPECT_FALSE(alarmed);
 }
 
+TEST(DeadlockWatchdog, CapturesDiagnosticsAtDetection) {
+  Simulator sim;
+  int dumps = 0;
+  DeadlockWatchdog dog(
+      sim, 100, [] { return 1; }, [] {});
+  dog.set_diagnostics([&] {
+    ++dumps;
+    return std::string("host 0: tasks=1 pool_used=64\n");
+  });
+  dog.arm();
+  sim.run_until(1000);
+  ASSERT_TRUE(dog.deadlock_detected());
+  EXPECT_EQ(dumps, 1) << "diagnostics must run exactly once, at detection";
+  EXPECT_EQ(dog.report(), "host 0: tasks=1 pool_used=64\n");
+}
+
+TEST(DeadlockWatchdog, NoDiagnosticsWithoutStall) {
+  Simulator sim;
+  int dumps = 0;
+  DeadlockWatchdog dog(
+      sim, 100, [] { return 0; }, [] {});
+  dog.set_diagnostics([&] {
+    ++dumps;
+    return std::string("unused");
+  });
+  dog.arm();
+  sim.run_until(1000);
+  EXPECT_EQ(dumps, 0);
+  EXPECT_TRUE(dog.report().empty());
+}
+
 TEST(DeadlockWatchdog, DetectsStallAfterProgressStops) {
   Simulator sim;
   bool alarmed = false;
