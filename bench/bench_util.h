@@ -7,6 +7,8 @@
 
 #include <cstdio>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/network.h"
 
@@ -36,5 +38,51 @@ inline ExperimentConfig sim_defaults(Scheme scheme, double load,
   cfg.seed = seed;
   return cfg;
 }
+
+/// Arms the network's deadlock watchdog with a bench-appropriate interval:
+/// a sweep point that wedges (faulted run, pathological config) dumps its
+/// per-host state to stderr instead of spinning silently until the job
+/// timeout. Bounded runs only — the armed watchdog keeps the simulator
+/// non-idle, so never pair it with run_to_quiescence().
+inline DeadlockWatchdog& arm_watchdog(Network& net, Time interval = 250'000) {
+  return net.attach_watchdog(interval);
+}
+
+/// Accumulates numeric result rows and writes them as BENCH_<name>.json —
+/// a machine-readable mirror of the CSV stdout so CI and plotting scripts
+/// need not parse the human-oriented format.
+class JsonBench {
+ public:
+  explicit JsonBench(std::string name) : name_(std::move(name)) {}
+
+  void add_row(std::vector<std::pair<std::string, double>> kv) {
+    rows_.push_back(std::move(kv));
+  }
+
+  /// Writes BENCH_<name>.json in the current directory.
+  void write() const {
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "# could not write %s\n", path.c_str());
+      return;
+    }
+    std::fprintf(f, "{\"bench\": \"%s\", \"rows\": [", name_.c_str());
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+      std::fprintf(f, "%s\n  {", r == 0 ? "" : ",");
+      for (std::size_t i = 0; i < rows_[r].size(); ++i)
+        std::fprintf(f, "%s\"%s\": %.6g", i == 0 ? "" : ", ",
+                     rows_[r][i].first.c_str(), rows_[r][i].second);
+      std::fprintf(f, "}");
+    }
+    std::fprintf(f, "\n]}\n");
+    std::fclose(f);
+    std::fprintf(stderr, "# wrote %s\n", path.c_str());
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::vector<std::pair<std::string, double>>> rows_;
+};
 
 }  // namespace wormcast::bench

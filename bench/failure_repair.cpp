@@ -1,0 +1,105 @@
+// Failure detection + self-healing repair: time from a *silent* crash-stop
+// host failure to the completed in-place structure repair (circuit splice,
+// tree re-parenting), as a function of the suspicion timeout, on the
+// Section 8.2 testbed under steady multicast traffic.
+//
+// The crash is never announced: survivors must notice it through ACK
+// timeouts (active senders) or unanswered liveness probes (idle
+// neighbours), accuse the host, and repair around it. Expected shape:
+// repair latency tracks the suspicion timeout roughly linearly (the
+// detector cannot accuse before the timeout matures), while rerouted
+// sends and disrupted messages stay flat — they depend on what was in
+// flight at the crash, not on how long detection took.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "net/topologies.h"
+
+using namespace wormcast;
+
+namespace {
+
+struct Point {
+  double repair_latency = 0.0;  // crash -> structures healed (byte-times)
+  double rerouted = 0.0;        // sends retargeted by the repair
+  double disrupted = 0.0;       // messages written off at repair time
+  double delivered = 0.0;       // completed / created over the whole run
+};
+
+Point run_crash(Scheme scheme, Time suspicion, Time measure,
+                std::uint64_t seed) {
+  // Load 0.02: sustainable by both schemes on this testbed. (The
+  // root-serialized tree saturates its root link near 0.05 even without
+  // faults — the serializer bottleneck of Section 6 — which would swamp
+  // the repair signal this bench measures.)
+  ExperimentConfig cfg = bench::sim_defaults(scheme, 0.02, 1.0, seed);
+  cfg.protocol.ack_timeout = 10'000;
+  cfg.protocol.retry_backoff = 2'000;
+  cfg.protocol.retry_jitter = 1'000;
+  cfg.protocol.max_attempts = 10;
+  cfg.protocol.suspicion_timeout = suspicion;
+  auto group = make_full_group(8);
+  Network net(make_myrinet_testbed(), {group}, cfg);
+  bench::arm_watchdog(net);
+
+  const Time crash_at = 2'000 + measure / 2;
+  net.crash_host(3, crash_at);
+  net.run(/*warmup=*/2'000, measure, /*drain_cap=*/600'000);
+
+  const Network::Summary s = net.summary();
+  Point p;
+  p.repair_latency = s.hosts_removed > 0
+                         ? static_cast<double>(s.last_repair_time - crash_at)
+                         : -1.0;  // detector never fired (config too slow)
+  p.rerouted = static_cast<double>(s.sends_rerouted);
+  p.disrupted = static_cast<double>(s.messages_disrupted);
+  if (s.messages > 0)
+    p.delivered = static_cast<double>(s.messages_completed) /
+                  static_cast<double>(s.messages);
+  return p;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+  const Time measure = quick ? 300'000 : 1'000'000;
+
+  std::printf("# Silent crash-stop repair on the 8-host testbed: detection + "
+              "repair latency vs suspicion timeout\n");
+  std::printf("# (host 3 crashes mid-run; ack_timeout=10k, max_attempts=10; "
+              "latency in byte-times)\n");
+  bench::print_header("suspicion_timeout",
+                      {"circuit_repair_latency", "circuit_rerouted",
+                       "circuit_disrupted", "circuit_delivered",
+                       "tree_repair_latency", "tree_rerouted",
+                       "tree_disrupted", "tree_delivered"});
+  const std::vector<Time> timeouts =
+      quick ? std::vector<Time>{60'000}
+            : std::vector<Time>{30'000, 60'000, 120'000};
+  bench::JsonBench json("failure_repair");
+  for (const Time suspicion : timeouts) {
+    const Point circuit =
+        run_crash(Scheme::kHamiltonianSF, suspicion, measure, 11);
+    const Point tree = run_crash(Scheme::kTreeSF, suspicion, measure, 11);
+    std::printf("%lld,%.0f,%.0f,%.0f,%.4f,%.0f,%.0f,%.0f,%.4f\n",
+                static_cast<long long>(suspicion), circuit.repair_latency,
+                circuit.rerouted, circuit.disrupted, circuit.delivered,
+                tree.repair_latency, tree.rerouted, tree.disrupted,
+                tree.delivered);
+    std::fflush(stdout);
+    json.add_row({{"suspicion_timeout", static_cast<double>(suspicion)},
+                  {"circuit_repair_latency", circuit.repair_latency},
+                  {"circuit_rerouted", circuit.rerouted},
+                  {"circuit_disrupted", circuit.disrupted},
+                  {"circuit_delivered", circuit.delivered},
+                  {"tree_repair_latency", tree.repair_latency},
+                  {"tree_rerouted", tree.rerouted},
+                  {"tree_disrupted", tree.disrupted},
+                  {"tree_delivered", tree.delivered}});
+  }
+  json.write();
+  return 0;
+}

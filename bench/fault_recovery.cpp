@@ -37,6 +37,7 @@ Point run_lossy(Scheme scheme, double loss, Time measure, std::uint64_t seed) {
   group.id = 0;
   for (HostId h = 0; h < 8; ++h) group.members.push_back(h);
   Network net(make_myrinet_testbed(), {group}, cfg);
+  bench::arm_watchdog(net);
   net.run(/*warmup=*/2'000, measure, /*drain_cap=*/500'000);
   const Network::Summary s = net.summary();
   Point p;
@@ -66,6 +67,7 @@ int main(int argc, char** argv) {
   const std::vector<double> rates =
       quick ? std::vector<double>{0.0, 0.05, 0.10}
             : std::vector<double>{0.0, 0.01, 0.02, 0.05, 0.10, 0.15};
+  bench::JsonBench json("fault_recovery");
   for (const double rate : rates) {
     const Point circuit = run_lossy(Scheme::kHamiltonianSF, rate, measure, 7);
     const Point tree = run_lossy(Scheme::kTreeSF, rate, measure, 7);
@@ -73,6 +75,14 @@ int main(int argc, char** argv) {
                 circuit.delivered, circuit.p99, circuit.retx_per_msg,
                 tree.delivered, tree.p99, tree.retx_per_msg);
     std::fflush(stdout);
+    json.add_row({{"loss_rate", rate},
+                  {"circuit_delivered", circuit.delivered},
+                  {"circuit_p99", circuit.p99},
+                  {"circuit_retx", circuit.retx_per_msg},
+                  {"tree_delivered", tree.delivered},
+                  {"tree_p99", tree.p99},
+                  {"tree_retx", tree.retx_per_msg}});
   }
+  json.write();
   return 0;
 }

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 
+#include "bench_util.h"
 #include "core/network.h"
 #include "net/topologies.h"
 #include "traffic/groups.h"
@@ -71,6 +72,10 @@ inline TestbedResult run_testbed(int senders, std::int64_t packet_size,
     };
     net.sim().after(poll, *pump);
   }
+
+  // Bounded run (run_until below), so the watchdog is safe to arm: a
+  // wedged configuration explains itself instead of burning the span.
+  arm_watchdog(net, 200'000);
 
   const Time warmup = span / 5;
   net.metrics().set_window_start(warmup);

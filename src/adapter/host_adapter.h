@@ -112,6 +112,20 @@ class HostAdapter final : public ByteFeed, public RxSink {
     return !tx_active_ && tx_queue_.empty() && control_queue_.empty();
   }
 
+  /// Crash-stop support: discard every queued (not yet started) worm. The
+  /// active plan finishes — its DMA is committed to the wire — but nothing
+  /// queued behind it ever leaves a dead host.
+  void drop_queued_tx() {
+    control_queue_.clear();
+    tx_queue_.clear();
+  }
+
+  /// Repair support: discard queued worms addressed to `dst` (a host the
+  /// network declared dead). Retargeted retransmissions would otherwise
+  /// queue behind this stale backlog and arrive too late to matter. The
+  /// active plan is never touched (committed DMA). Returns the count.
+  std::size_t purge_tx_to(HostId dst);
+
   // Counters. "Worms" are data worms; ACK/NACK arrivals are counted
   // separately as control traffic.
   [[nodiscard]] std::int64_t worms_sent() const { return worms_sent_; }

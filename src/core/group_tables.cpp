@@ -25,6 +25,15 @@ HostId CircuitTable::next(HostId h) const {
   return next_it == order_.end() ? order_.front() : *next_it;
 }
 
+bool CircuitTable::remove(HostId h) {
+  const auto it = std::lower_bound(order_.begin(), order_.end(), h);
+  if (it == order_.end() || *it != h) return false;
+  if (order_.size() == 1)
+    throw std::logic_error("cannot splice the last circuit member");
+  order_.erase(it);  // sorted order (and hence the one wrap reversal) survives
+  return true;
+}
+
 int CircuitTable::circuit_hop_length(const UpDownRouting& routing) const {
   if (order_.size() < 2) return 0;
   int total = 0;
@@ -86,6 +95,63 @@ const std::vector<HostId>& TreeTable::children(HostId h) const {
   return it->second;
 }
 
+TreeTable::RemovalResult TreeTable::remove_member(HostId h,
+                                                  const UpDownRouting& routing,
+                                                  int max_fanout) {
+  RemovalResult result;
+  const auto it = std::lower_bound(members_.begin(), members_.end(), h);
+  if (it == members_.end() || *it != h) return result;
+  if (members_.size() == 1)
+    throw std::logic_error("cannot remove the last tree member");
+  result.removed = true;
+  members_.erase(it);
+
+  std::vector<HostId> orphans = children_[h];
+  children_.erase(h);
+  if (h == root_) {
+    // The new root is the lowest surviving ID. Its old parent had an even
+    // lower ID, and only the dead root qualified — so the new root is
+    // always a direct child of the dead root and already orphaned.
+    root_ = members_.front();
+    parent_[root_] = kNoHost;
+    orphans.erase(std::find(orphans.begin(), orphans.end(), root_));
+    result.root_promoted = true;
+  } else {
+    // Detach the dead node from its parent's child list.
+    std::vector<HostId>& siblings = children_[parent_.at(h)];
+    siblings.erase(std::find(siblings.begin(), siblings.end(), h));
+  }
+  parent_.erase(h);
+
+  // Re-attach each orphaned subtree at its (surviving) root: greedy
+  // min-hop parent among lower-ID members with fanout slack, exactly the
+  // construction rule, so parent < child keeps holding.
+  for (const HostId o : orphans) {
+    HostId best = kNoHost;
+    int best_cost = 0;
+    for (bool relax_cap : {false, true}) {
+      for (const HostId candidate : members_) {
+        if (candidate >= o) break;  // members_ ascending; need parent < child
+        if (!relax_cap && max_fanout > 0 &&
+            static_cast<int>(children_[candidate].size()) >= max_fanout)
+          continue;
+        const int cost = routing.hop_count(candidate, o);
+        if (best == kNoHost || cost < best_cost) {
+          best = candidate;
+          best_cost = cost;
+        }
+      }
+      if (best != kNoHost) break;  // cap relaxed only when every slot is full
+    }
+    parent_[o] = best;
+    std::vector<HostId>& kids = children_[best];
+    kids.insert(std::lower_bound(kids.begin(), kids.end(), o), o);
+    result.reattached.emplace_back(o, best);
+    ++result.subtrees_reparented;
+  }
+  return result;
+}
+
 int TreeTable::depth() const {
   int max_depth = 0;
   for (const HostId m : members_) {
@@ -97,11 +163,37 @@ int TreeTable::depth() const {
 }
 
 GroupTables::GroupTables(const std::vector<MulticastGroupSpec>& specs,
-                         const UpDownRouting& routing, int max_tree_fanout) {
+                         const UpDownRouting& routing, int max_tree_fanout)
+    : routing_(routing), max_tree_fanout_(max_tree_fanout) {
   for (const MulticastGroupSpec& spec : specs) {
     circuits_.emplace(spec.id, CircuitTable(spec.members));
     trees_.emplace(spec.id, TreeTable(spec.members, routing, max_tree_fanout));
   }
+}
+
+std::vector<GroupId> GroupTables::groups_containing(HostId h) const {
+  std::vector<GroupId> out;
+  for (const auto& [g, circuit] : circuits_)
+    if (circuit.contains(h)) out.push_back(g);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+GroupTables::RepairStats GroupTables::remove_member(HostId h) {
+  RepairStats stats;
+  for (auto& [g, circuit] : circuits_) {
+    if (!circuit.contains(h)) continue;
+    if (circuit.size() == 1) continue;  // sole member: nothing left to heal
+    circuit.remove(h);
+    ++stats.circuits_spliced;
+    const TreeTable::RemovalResult r =
+        trees_.at(g).remove_member(h, routing_, max_tree_fanout_);
+    stats.subtrees_reparented += r.subtrees_reparented;
+    if (r.root_promoted) ++stats.roots_promoted;
+    for (const auto& [orphan, parent] : r.reattached)
+      stats.reattachments.push_back({g, orphan, parent});
+  }
+  return stats;
 }
 
 const CircuitTable& GroupTables::circuit(GroupId g) const {

@@ -37,6 +37,13 @@ class CircuitTable {
   /// Total unicast hop count around the circuit (Figure 8's cost metric).
   [[nodiscard]] int circuit_hop_length(const UpDownRouting& routing) const;
 
+  /// Splices a dead member out: its predecessor re-links directly to its
+  /// successor. Because the circuit is the sorted member list, erasing one
+  /// element preserves ascending-ID order with the single wrap reversal, so
+  /// the two-buffer-class rule of Section 5 keeps holding on the repaired
+  /// circuit. Returns false if `h` was not a member.
+  bool remove(HostId h);
+
  private:
   std::vector<HostId> order_;  // ascending IDs
 };
@@ -61,6 +68,22 @@ class TreeTable {
   /// Depth of the tree (root = 0).
   [[nodiscard]] int depth() const;
 
+  struct RemovalResult {
+    bool removed = false;
+    bool root_promoted = false;
+    int subtrees_reparented = 0;
+    /// Each orphaned subtree root and the surviving member that adopted it.
+    std::vector<std::pair<HostId, HostId>> reattached;  // (orphan, parent)
+  };
+  /// Removes a dead member in place. Its orphaned children (whole subtrees)
+  /// re-attach greedily to the surviving member with a lower ID, spare
+  /// fanout and the smallest hop count (cap relaxed if every candidate is
+  /// full), so the parent-ID < child-ID invariant survives repair. If the
+  /// root died, the lowest surviving ID — necessarily one of the root's own
+  /// children — is promoted in place.
+  RemovalResult remove_member(HostId h, const UpDownRouting& routing,
+                              int max_fanout);
+
  private:
   HostId root_ = kNoHost;
   std::vector<HostId> members_;  // ascending
@@ -68,7 +91,8 @@ class TreeTable {
   std::unordered_map<HostId, std::vector<HostId>> children_;
 };
 
-/// All groups' circuits and trees, built once per experiment.
+/// All groups' circuits and trees, built once per experiment and repaired
+/// in place when the failure detector declares a member dead.
 class GroupTables {
  public:
   GroupTables(const std::vector<MulticastGroupSpec>& specs,
@@ -79,7 +103,33 @@ class GroupTables {
   [[nodiscard]] bool is_member(GroupId g, HostId h) const;
   [[nodiscard]] int group_size(GroupId g) const;
 
+  [[nodiscard]] std::vector<GroupId> groups_containing(HostId h) const;
+
+  /// One orphaned subtree adopted during a repair: protocols use this to
+  /// know which *new* children need copies of in-flight messages (and only
+  /// those — a child missing from a task's sends usually means the message
+  /// arrived *from* it).
+  struct Reattachment {
+    GroupId group = kNoGroup;
+    HostId orphan = kNoHost;
+    HostId new_parent = kNoHost;
+  };
+
+  struct RepairStats {
+    int circuits_spliced = 0;
+    int subtrees_reparented = 0;
+    int roots_promoted = 0;
+    std::vector<Reattachment> reattachments;
+  };
+  /// Splices `h` out of every circuit and tree it belongs to. Groups where
+  /// `h` is the sole member are left intact (nothing to repair; no sender
+  /// survives to use them). Every protocol instance shares these tables by
+  /// reference, so one call heals the whole network.
+  RepairStats remove_member(HostId h);
+
  private:
+  const UpDownRouting& routing_;
+  int max_tree_fanout_ = 0;
   std::unordered_map<GroupId, CircuitTable> circuits_;
   std::unordered_map<GroupId, TreeTable> trees_;
 };

@@ -52,6 +52,8 @@ HostProtocol::HostProtocol(Simulator& sim, HostAdapter& adapter,
 // --- origination -------------------------------------------------------------
 
 void HostProtocol::originate(const Demand& demand) {
+  if (dead_) return;  // a crashed application generates nothing
+  maybe_arm_prober();
   if (demand.multicast)
     originate_multicast(demand);
   else
@@ -63,6 +65,11 @@ void HostProtocol::on_unicast_flushed(const WormPtr& worm) {
       config_.retry_backoff +
       (config_.retry_jitter > 0 ? rng_.uniform(0, config_.retry_jitter) : 0);
   sim_.after(backoff, [this, worm] {
+    if (dead_) return;
+    if (removed_peers_.count(worm->dst) > 0) {
+      metrics_.abandon_message(worm->message);
+      return;
+    }
     metrics_.on_retransmit();
     auto copy = std::make_shared<Worm>();
     copy->id = worm->id;
@@ -81,6 +88,12 @@ void HostProtocol::on_unicast_flushed(const WormPtr& worm) {
 
 void HostProtocol::originate_unicast(const Demand& d) {
   auto ctx = metrics_.create_message(host_, kNoGroup, d.length, 1, sim_.now());
+  ctx->unicast_dst = d.dst;
+  if (removed_peers_.count(d.dst) > 0) {
+    // The application addressed a host the network already declared dead.
+    metrics_.abandon_message(ctx);
+    return;
+  }
   auto worm = std::make_shared<Worm>();
   worm->kind = WormKind::kData;
   worm->src = host_;
@@ -327,6 +340,7 @@ void HostProtocol::issue_send(const TaskPtr& task, Task::Send& send,
                               bool cut_through) {
   assert(!send.started);
   send.started = true;
+  send.first_tx = sim_.now();
   WormPtr worm = make_data_worm(task, send);
   ack_wait_.emplace(send_key(task->message_id, send.to), task);
   if (cut_through && task->rx != nullptr && !task->rx->complete)
@@ -350,8 +364,11 @@ void HostProtocol::retransmit_later(const TaskPtr& task,
     Task::Send& send = task->sends[send_index];
     send.retry_pending = false;
     // The send may have resolved during the back-off: a slow ACK arrived,
-    // the send was abandoned, or the whole task was torn down.
-    if (send.acked || send.failed || task->aborted) return;
+    // the send was abandoned, the whole task was torn down, or this host
+    // crashed. A repair may also have retargeted `send.to` meanwhile — the
+    // worm below is built from the mutated send, so the retransmission
+    // automatically takes the healed structure and route.
+    if (send.acked || send.failed || task->aborted || dead_) return;
     assert(send.started);
     metrics_.on_retransmit();
     WormPtr worm = make_data_worm(task, send);
@@ -374,8 +391,26 @@ void HostProtocol::arm_ack_timer(const TaskPtr& task, std::size_t send_index) {
 
 void HostProtocol::on_ack_timeout(const TaskPtr& task, std::size_t send_index) {
   Task::Send& send = task->sends[send_index];
-  if (send.acked || send.failed || send.retry_pending || task->aborted) return;
+  if (send.acked || send.failed || send.retry_pending || task->aborted || dead_)
+    return;
   metrics_.on_ack_timeout();
+  // Suspicion: the send has been un-ACKed past the suspicion timeout AND
+  // the peer has been totally silent for as long — an overdue send alone
+  // can be our own congestion (the retransmissions queued behind a local
+  // TX backlog), so a peer that is still talking is never accused.
+  // Declare it dead; the network's repair retargets this very send (so no
+  // retransmission is scheduled here).
+  // NOTE: the listener repairs the structures, which can reallocate
+  // task->sends — `send` must not be touched after the call.
+  if (suspicion_enabled() && failure_listener_ &&
+      removed_peers_.count(send.to) == 0 && send.first_tx != kTimeNever &&
+      sim_.now() - send.first_tx >= config_.suspicion_timeout &&
+      peer_silent(send.to)) {
+    const HostId suspect = send.to;
+    metrics_.on_suspicion(sim_.now());
+    failure_listener_(suspect);
+    return;
+  }
   if (config_.max_attempts > 0 && send.attempts + 1 >= config_.max_attempts) {
     fail_send(task, send_index);
     return;
@@ -442,7 +477,11 @@ void HostProtocol::maybe_release(const TaskPtr& task) {
 
 RxDecision HostProtocol::on_rx_head(const WormPtr& worm,
                                     const std::shared_ptr<RxProgress>& rx) {
-  if (worm->kind == WormKind::kAck || worm->kind == WormKind::kNack)
+  if (dead_) return RxDecision::kDrop;  // a crashed LANai ACKs nothing
+  note_heard(worm->src);
+  maybe_arm_prober();
+  if (worm->kind == WormKind::kAck || worm->kind == WormKind::kNack ||
+      worm->kind == WormKind::kProbe || worm->kind == WormKind::kProbeAck)
     return RxDecision::kAccept;
   if (!worm->mcast.has_value()) return RxDecision::kAccept;  // plain unicast
   if (worm->mcast->credit != CreditOp::kNone)
@@ -459,11 +498,17 @@ RxDecision HostProtocol::on_rx_head(const WormPtr& worm,
       adapter_.send_control(make_control_worm(WormKind::kAck, worm));
       return RxDecision::kDrop;
     }
-    // A copy of a message still arriving (the sender's timeout was merely
-    // premature): drop silently; the ACK goes out when the first copy
-    // completes.
-    if (!is_confirmation(h) && tasks_.count(h.message_id) > 0) {
+    // A copy of a message this host already has a task for. If the first
+    // copy has fully arrived (the task lingers only for its own forwards —
+    // common right after a repair retargets senders) re-ACK so the sender
+    // stops retrying; while it is still arriving the sender's timeout was
+    // merely premature, so drop silently — the ACK goes out when the first
+    // copy completes.
+    const auto existing = tasks_.find(h.message_id);
+    if (!is_confirmation(h) && existing != tasks_.end()) {
       metrics_.on_duplicate();
+      if (existing->second->rx_complete)
+        adapter_.send_control(make_control_worm(WormKind::kAck, worm));
       return RxDecision::kDrop;
     }
   }
@@ -521,6 +566,8 @@ RxDecision HostProtocol::on_rx_head(const WormPtr& worm,
 
 void HostProtocol::on_rx_complete(const WormPtr& worm,
                                   std::int64_t payload_bytes) {
+  if (dead_) return;
+  note_heard(worm->src);
   switch (worm->kind) {
     case WormKind::kAck:
       handle_ack(worm);
@@ -528,6 +575,11 @@ void HostProtocol::on_rx_complete(const WormPtr& worm,
     case WormKind::kNack:
       handle_nack(worm);
       return;
+    case WormKind::kProbe:
+      adapter_.send_control(make_probe_worm(worm->src, WormKind::kProbeAck));
+      return;
+    case WormKind::kProbeAck:
+      return;  // note_heard above is the whole point
     case WormKind::kSwitchMcast: {
       // Fabric-replicated delivery: reassemble fragments per message and
       // deliver once the full payload has arrived. The source's own flood
@@ -708,6 +760,260 @@ void HostProtocol::on_rx_truncated(const WormPtr& worm) {
   // after the first copy completed must not kill the live task.
   if (task->rx == nullptr || !task->rx->truncated) return;
   abort_task(task);
+}
+
+// --- failure detection & repair ----------------------------------------------
+
+void HostProtocol::on_crash() {
+  if (dead_) return;
+  dead_ = true;
+  // Queued (uncommitted) transmissions vanish; a worm mid-DMA finishes.
+  adapter_.drop_queued_tx();
+  // Ordered-forwarding queues die with the host; cleared first so the task
+  // teardown below cannot pop and re-issue a queued send.
+  windows_.clear();
+  window_busy_.clear();
+  std::vector<TaskPtr> all;
+  all.reserve(tasks_.size() + origin_tasks_.size());
+  for (const auto& [id, t] : tasks_) all.push_back(t);
+  for (const auto& [id, t] : origin_tasks_) all.push_back(t);
+  for (const TaskPtr& task : all)
+    if (!task->aborted) abort_task(task);
+  ack_wait_.clear();
+  last_heard_.clear();
+  probe_sent_.clear();
+  assert(pool_.total_used() == 0 && "crash must drain the buffer pool");
+}
+
+void HostProtocol::on_peer_removed(
+    HostId dead, const std::vector<GroupTables::Reattachment>& adopted) {
+  if (dead_ || dead == host_) return;
+  if (!removed_peers_.insert(dead).second) return;
+  last_heard_.erase(dead);
+  probe_sent_.erase(dead);
+  // Drop the stale TX backlog addressed to the dead host: retargeted
+  // retransmissions must not queue behind worms nobody will ever ACK.
+  adapter_.purge_tx_to(dead);
+  // Drain every ordered window aimed at the dead successor: its queued
+  // sends are retargeted below and re-enter the windows under new keys.
+  for (auto& [key, queue] : windows_) {
+    if (static_cast<HostId>(static_cast<std::uint32_t>(key)) != dead) continue;
+    queue.clear();
+    window_busy_[key] = false;
+  }
+  std::vector<TaskPtr> all;
+  all.reserve(tasks_.size() + origin_tasks_.size());
+  for (const auto& [id, t] : tasks_) all.push_back(t);
+  for (const auto& [id, t] : origin_tasks_) all.push_back(t);
+  for (const TaskPtr& task : all)
+    if (!task->aborted) repair_task_sends(task, dead, adopted);
+}
+
+void HostProtocol::dispatch_send(const TaskPtr& task, std::size_t send_index) {
+  Task::Send& send = task->sends[send_index];
+  if (send.started) return;
+  const bool ordered = config_.total_ordering && serialized_scheme() &&
+                       !send.header.relay_phase;
+  if (ordered)
+    window_push(task, send_index, /*cut_through=*/false);
+  else
+    issue_send(task, send, /*cut_through=*/false);
+}
+
+void HostProtocol::repair_task_sends(
+    const TaskPtr& task, HostId dead,
+    const std::vector<GroupTables::Reattachment>& adopted) {
+  bool touched = false;
+  std::vector<std::size_t> to_dispatch;
+  for (std::size_t i = 0; i < task->sends.size(); ++i) {
+    Task::Send& s = task->sends[i];
+    if (s.to != dead || s.acked || s.failed) continue;
+    touched = true;
+    if (s.timer.valid()) {
+      sim_.cancel(s.timer);
+      s.timer = EventHandle{};
+    }
+    const bool was_started = s.started;
+    if (was_started) ack_wait_.erase(send_key(task->message_id, s.to));
+    metrics_.on_send_rerouted();
+
+    if (s.header.relay_phase) {
+      // The serializer died. Relay to its successor — unless that is us.
+      const HostId serializer = scheme_uses_tree(config_.scheme)
+                                    ? tables_.tree(task->group).root()
+                                    : tables_.circuit(task->group).lowest();
+      if (serializer == host_) {
+        task->sends.clear();
+        begin_serialized_dispatch(task);
+        return;
+      }
+      s.to = serializer;
+    } else if (scheme_uses_circuit(config_.scheme)) {
+      // The splice removed one stop, so the hop budget shrinks with it.
+      const CircuitTable& circuit = tables_.circuit(task->group);
+      const int hops = s.header.hops_remaining - 1;
+      if (hops <= 0 || circuit.size() < 2) {
+        s.started = true;  // resolved: the repaired circuit ends here
+        s.acked = true;
+        continue;
+      }
+      const HostId to = circuit.next(host_);
+      // Two-buffer-class rule on the repaired circuit: still class 0 while
+      // IDs keep ascending past the splice; the wrap turns it to class 1.
+      if (s.header.buffer_class == 0 && to < host_) s.header.buffer_class = 1;
+      s.header.hops_remaining = hops;
+      s.to = to;
+    } else {
+      // Tree schemes. A dead child's subtree was re-parented (its adoptive
+      // parent's pass below covers it); a dead parent means this subtree
+      // re-attached — climb to the new parent unless we became the root.
+      const TreeTable& tree = tables_.tree(task->group);
+      if (dead > host_ || host_ == tree.root()) {
+        s.started = true;  // resolved
+        s.acked = true;
+        continue;
+      }
+      s.to = tree.parent(host_);
+    }
+    s.attempts = 0;  // fresh back-off history toward the new target
+    s.first_tx = sim_.now();
+    if (was_started) {
+      ack_wait_.emplace(send_key(task->message_id, s.to), task);
+      retransmit_later(task, i);
+    } else {
+      to_dispatch.push_back(i);
+    }
+  }
+
+  // Adoption pass (tree schemes): a subtree this host adopted in the
+  // repair needs copies of every message still held here — and ONLY the
+  // adopted ones: a pre-existing child absent from the sends means the
+  // message arrived *from* that child (flood direction), not that it was
+  // missed. Receivers that already hold a copy ACK the duplicate away.
+  if (scheme_uses_tree(config_.scheme) && !task->aborted) {
+    bool is_relay_task = false;
+    for (const Task::Send& s : task->sends)
+      if (s.header.relay_phase) is_relay_task = true;
+    if (!is_relay_task) {
+      for (const GroupTables::Reattachment& r : adopted) {
+        if (r.group != task->group || r.new_parent != host_) continue;
+        bool have = false;
+        for (const Task::Send& s : task->sends)
+          if (s.to == r.orphan) have = true;
+        // The origin's subtree already has the message by construction.
+        if (have || r.orphan == task->origin) continue;
+        Task::Send s;
+        s.to = r.orphan;
+        s.header.group = task->group;
+        s.header.message_id = task->message_id;
+        s.header.origin = task->origin;
+        s.header.seq = task->seq;
+        // Descent copy: the broadcast flood's descending class is 1, the
+        // root-serialized descent's single class is 0.
+        s.header.buffer_class =
+            config_.scheme == Scheme::kTreeBroadcast ? 1 : 0;
+        task->sends.push_back(s);
+        to_dispatch.push_back(task->sends.size() - 1);
+        touched = true;
+        metrics_.on_send_rerouted();
+      }
+    }
+  }
+
+  // Not-yet-received tasks launch their sends when reception completes;
+  // everything already complete dispatches now.
+  if (task->rx_complete)
+    for (const std::size_t i : to_dispatch) dispatch_send(task, i);
+  if (touched) maybe_release(task);
+}
+
+bool HostProtocol::peer_silent(HostId peer) const {
+  const auto it = last_heard_.find(peer);
+  return it == last_heard_.end() ||
+         sim_.now() - it->second >= config_.suspicion_timeout;
+}
+
+void HostProtocol::note_heard(HostId peer) {
+  if (!suspicion_enabled() || peer == host_ || peer == kNoHost) return;
+  last_heard_[peer] = sim_.now();
+  probe_sent_.erase(peer);
+}
+
+void HostProtocol::maybe_arm_prober() {
+  if (!suspicion_enabled() || dead_ || prober_armed_) return;
+  prober_armed_ = true;
+  sim_.after(probe_interval(), [this] { probe_tick(); });
+}
+
+void HostProtocol::probe_tick() {
+  prober_armed_ = false;
+  if (dead_) return;
+  // Probe only while a silent death could wedge in-flight traffic. With
+  // the network quiescent, go dormant instead of probing: a probe would
+  // arm the receiver's prober, which would probe *its* successor, and the
+  // cascade around the circuit would keep the simulation alive forever.
+  if (metrics_.outstanding() == 0 && ack_wait_.empty()) return;
+  const Time now = sim_.now();
+  for (const HostId n : probe_targets()) {
+    if (removed_peers_.count(n) > 0) continue;  // removed earlier this tick
+    const auto heard = last_heard_.find(n);
+    if (heard == last_heard_.end()) {
+      // First tick this neighbour matters: start its clock, probe later.
+      last_heard_.emplace(n, now);
+      continue;
+    }
+    if (now - heard->second < probe_interval()) continue;  // recently heard
+    const auto sent = probe_sent_.find(n);
+    if (sent != probe_sent_.end() &&
+        now - sent->second >= config_.suspicion_timeout) {
+      metrics_.on_suspicion(now);
+      if (failure_listener_) failure_listener_(n);
+      continue;
+    }
+    if (sent == probe_sent_.end()) probe_sent_.emplace(n, now);
+    try {
+      adapter_.send_control(make_probe_worm(n, WormKind::kProbe));
+    } catch (const std::logic_error&) {
+      // Unreachable after a partitioning link death: keep the clock
+      // running; the unanswered probe matures into a suspicion.
+    }
+  }
+  // Keep ticking while traffic is in flight that a silent death could
+  // wedge; otherwise go quiescent (the next origination re-arms).
+  if (metrics_.outstanding() > 0 || !ack_wait_.empty()) maybe_arm_prober();
+}
+
+std::vector<HostId> HostProtocol::probe_targets() const {
+  std::vector<HostId> out;
+  for (const GroupId g : tables_.groups_containing(host_)) {
+    if (scheme_uses_circuit(config_.scheme)) {
+      const CircuitTable& c = tables_.circuit(g);
+      if (c.size() > 1) out.push_back(c.next(host_));
+    } else if (scheme_uses_tree(config_.scheme)) {
+      const TreeTable& t = tables_.tree(g);
+      if (host_ != t.root()) out.push_back(t.parent(host_));
+      const std::vector<HostId>& kids = t.children(host_);
+      out.insert(out.end(), kids.begin(), kids.end());
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  out.erase(std::remove_if(
+                out.begin(), out.end(),
+                [this](HostId h) { return removed_peers_.count(h) > 0; }),
+            out.end());
+  return out;
+}
+
+WormPtr HostProtocol::make_probe_worm(HostId dst, WormKind kind) const {
+  auto worm = std::make_shared<Worm>();
+  worm->kind = kind;
+  worm->src = host_;
+  worm->dst = dst;
+  worm->payload = config_.control_payload;
+  worm->header = config_.mcast_header_bytes;
+  worm->route = routing_.route(host_, dst);
+  return worm;
 }
 
 HostProtocol::DebugSnapshot HostProtocol::debug_snapshot() const {

@@ -15,8 +15,10 @@
 //    root, with per-successor in-order forwarding.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <unordered_map>
@@ -51,6 +53,30 @@ class HostProtocol final : public AdapterClient {
   /// (switch-level scheme (c)); retransmit a fresh copy after a random
   /// timeout, as the paper prescribes.
   void on_unicast_flushed(const WormPtr& worm);
+
+  // --- failure detection & repair (crash-stop model) -------------------------
+
+  /// Crash-stop this host: it stops originating, forwarding, ACKing and
+  /// probing, drops its queued transmissions (the worm already on the wire
+  /// finishes — committed DMA) and releases every buffer it held. Nothing
+  /// ever resurrects it.
+  void on_crash();
+  [[nodiscard]] bool crashed() const { return dead_; }
+
+  /// Called when this host suspects `suspect` has crash-stopped; the
+  /// network disseminates the death and repairs the shared group tables.
+  void set_failure_listener(std::function<void(HostId)> listener) {
+    failure_listener_ = std::move(listener);
+  }
+
+  /// The network declared `dead` crashed and already repaired the group
+  /// tables. Rescue this host's in-flight sends: every unresolved send
+  /// addressed to the dead peer is retargeted along the repaired structure
+  /// (circuit successor past the splice, new tree parent, adopted
+  /// children), resolved when the structure ends there, and retransmitted
+  /// through the PR-1 retry machinery.
+  void on_peer_removed(HostId dead,
+                       const std::vector<GroupTables::Reattachment>& adopted);
 
   [[nodiscard]] HostId host() const { return host_; }
   [[nodiscard]] const BufferPool& pool() const { return pool_; }
@@ -114,6 +140,7 @@ class HostProtocol final : public AdapterClient {
       bool retry_pending = false;  // a back-off retransmission is scheduled
       int attempts = 0;  // NACKed / timed-out tries (drives the back-off)
       EventHandle timer;  // ACK timeout (recovery mode only)
+      Time first_tx = kTimeNever;  // first transmission (suspicion clock)
     };
     std::vector<Send> sends;
     bool delivered = false;    // local delivery (or none needed) finished
@@ -164,6 +191,37 @@ class HostProtocol final : public AdapterClient {
 
   WormPtr make_data_worm(const TaskPtr& task, const Task::Send& send) const;
   WormPtr make_control_worm(WormKind kind, const WormPtr& data_worm) const;
+
+  // --- failure detector (suspicion_timeout > 0) ------------------------------
+  /// The detector piggybacks on recovery: a peer is suspected when it stays
+  /// silent past the suspicion timeout despite the ACK-timeout retries, or
+  /// when it ignores explicit probes while no send would expose it.
+  [[nodiscard]] bool suspicion_enabled() const {
+    return recovery_enabled() && config_.suspicion_timeout > 0;
+  }
+  [[nodiscard]] Time probe_interval() const {
+    return config_.probe_interval > 0
+               ? config_.probe_interval
+               : std::max<Time>(1, config_.suspicion_timeout / 4);
+  }
+  /// Any worm from `peer` proves it was alive when it sent.
+  [[nodiscard]] bool peer_silent(HostId peer) const;
+  void note_heard(HostId peer);
+  void maybe_arm_prober();
+  void probe_tick();
+  /// Protocol neighbours (circuit successor; tree parent and children) in
+  /// every group this host belongs to, minus already-removed peers.
+  [[nodiscard]] std::vector<HostId> probe_targets() const;
+  WormPtr make_probe_worm(HostId dst, WormKind kind) const;
+
+  /// Retargets/resolves every unresolved send of one task that addresses
+  /// the (spliced-out) dead peer; appends sends for tree children adopted
+  /// during the repair; dispatches what became ready.
+  void repair_task_sends(const TaskPtr& task, HostId dead,
+                         const std::vector<GroupTables::Reattachment>& adopted);
+  /// Starts a not-yet-started send through the ordered window when total
+  /// ordering demands it, directly otherwise (repair-path dispatch).
+  void dispatch_send(const TaskPtr& task, std::size_t send_index);
 
   [[nodiscard]] bool is_confirmation(const McastHeader& h) const;
   void deliver_locally(const TaskPtr& task);
@@ -223,6 +281,17 @@ class HostProtocol final : public AdapterClient {
   /// re-delivered or re-forwarded.
   std::unordered_set<std::uint64_t> done_keys_;
   std::deque<std::uint64_t> done_order_;
+
+  // --- failure detection state ----------------------------------------------
+  bool dead_ = false;  // crash-stopped
+  std::function<void(HostId)> failure_listener_;
+  /// Peers declared dead by the network; sends are never aimed at them.
+  std::unordered_set<HostId> removed_peers_;
+  /// Last time any worm from a peer arrived here (suspicion clocks).
+  std::unordered_map<HostId, Time> last_heard_;
+  /// First unanswered probe per peer; erased whenever the peer is heard.
+  std::unordered_map<HostId, Time> probe_sent_;
+  bool prober_armed_ = false;
 
   // --- [VLB96] centralized credit scheme ------------------------------------
   void begin_serialized_dispatch(const TaskPtr& task);

@@ -25,7 +25,7 @@ std::shared_ptr<MessageContext> Metrics::create_message(HostId origin,
   ctx->created_at = now;
   ++created_;
   if (destinations > 0)
-    outstanding_.emplace(ctx->message_id, now);
+    outstanding_.emplace(ctx->message_id, ctx);
   else
     ++completed_;
   return ctx;
@@ -46,9 +46,12 @@ bool Metrics::on_delivered(const std::shared_ptr<MessageContext>& ctx,
   }
   if (ctx->destinations_reached == ctx->destinations_total) {
     if (in_window && ctx->group != kNoGroup) mcast_completion_.add(latency);
-    outstanding_.erase(ctx->message_id);
-    ++completed_;
-    last_completion_ = now;
+    // A message abandoned at repair time may still drain its in-flight
+    // copies; it was already tallied as disrupted, not completed.
+    if (outstanding_.erase(ctx->message_id) > 0) {
+      ++completed_;
+      last_completion_ = now;
+    }
     return true;
   }
   return false;
@@ -57,6 +60,32 @@ bool Metrics::on_delivered(const std::shared_ptr<MessageContext>& ctx,
 void Metrics::on_delivery_failed(const std::shared_ptr<MessageContext>& ctx) {
   ++deliveries_failed_;
   outstanding_.erase(ctx->message_id);
+}
+
+void Metrics::abandon_message(const std::shared_ptr<MessageContext>& ctx) {
+  if (outstanding_.erase(ctx->message_id) > 0) ++messages_disrupted_;
+}
+
+bool Metrics::shrink_destinations(const std::shared_ptr<MessageContext>& ctx,
+                                  Time now) {
+  if (outstanding_.count(ctx->message_id) == 0) return false;
+  assert(ctx->destinations_total > ctx->destinations_reached);
+  --ctx->destinations_total;
+  if (ctx->destinations_reached == ctx->destinations_total) {
+    outstanding_.erase(ctx->message_id);
+    ++completed_;
+    last_completion_ = now;
+    return true;
+  }
+  return false;
+}
+
+std::vector<std::shared_ptr<MessageContext>> Metrics::outstanding_messages()
+    const {
+  std::vector<std::shared_ptr<MessageContext>> out;
+  out.reserve(outstanding_.size());
+  for (const auto& [id, ctx] : outstanding_) out.push_back(ctx);
+  return out;
 }
 
 void Metrics::on_confirmation(const std::shared_ptr<MessageContext>& /*ctx*/,
@@ -78,8 +107,8 @@ const std::vector<std::uint64_t>* Metrics::order_of(HostId host,
 
 Time Metrics::oldest_outstanding_age(Time now) const {
   Time oldest = now;
-  for (const auto& [id, created] : outstanding_)
-    oldest = std::min(oldest, created);
+  for (const auto& [id, ctx] : outstanding_)
+    oldest = std::min(oldest, ctx->created_at);
   return now - oldest;
 }
 

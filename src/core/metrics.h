@@ -48,6 +48,27 @@ class Metrics {
   void on_delivery_failed(const std::shared_ptr<MessageContext>& ctx);
   void on_confirmation(const std::shared_ptr<MessageContext>& ctx, Time now);
 
+  // Failure-detection & repair accounting.
+  void on_suspicion(Time now) { ++suspicions_; last_suspicion_ = now; }
+  void on_repair(Time now) { ++repairs_; last_repair_ = now; }
+  void on_send_rerouted() { ++sends_rerouted_; }
+  void on_link_failed() { ++links_failed_; }
+  /// The message can no longer complete (its originator crashed, or a hop
+  /// copy died inside the dead member): it stops counting as outstanding
+  /// and is tallied as disrupted. Idempotent per message.
+  void abandon_message(const std::shared_ptr<MessageContext>& ctx);
+  /// A destination crashed before receiving this message: shrink the
+  /// destination set so the survivors' deliveries can still complete it.
+  /// Completion by shrink adds no latency sample (there was no delivery).
+  /// Returns true if the message is now complete.
+  bool shrink_destinations(const std::shared_ptr<MessageContext>& ctx, Time now);
+  /// Snapshot of the not-yet-finished messages (repair-time triage).
+  [[nodiscard]] std::vector<std::shared_ptr<MessageContext>> outstanding_messages()
+      const;
+  [[nodiscard]] bool is_outstanding(std::uint64_t message_id) const {
+    return outstanding_.count(message_id) != 0;
+  }
+
   /// Delivery order audit trail: per host, the (group, message) sequence
   /// observed; the total-ordering tests compare these across members.
   void record_order(HostId host, GroupId group, std::uint64_t message_id);
@@ -72,6 +93,15 @@ class Metrics {
   [[nodiscard]] std::int64_t deliveries_failed() const {
     return deliveries_failed_;
   }
+  [[nodiscard]] std::int64_t suspicions() const { return suspicions_; }
+  [[nodiscard]] std::int64_t repairs() const { return repairs_; }
+  [[nodiscard]] std::int64_t sends_rerouted() const { return sends_rerouted_; }
+  [[nodiscard]] std::int64_t messages_disrupted() const {
+    return messages_disrupted_;
+  }
+  [[nodiscard]] std::int64_t links_failed() const { return links_failed_; }
+  [[nodiscard]] Time last_suspicion_time() const { return last_suspicion_; }
+  [[nodiscard]] Time last_repair_time() const { return last_repair_; }
   [[nodiscard]] std::int64_t messages_created() const { return created_; }
   [[nodiscard]] std::int64_t messages_completed() const { return completed_; }
   [[nodiscard]] std::int64_t payload_delivered() const { return payload_delivered_; }
@@ -103,8 +133,16 @@ class Metrics {
   std::int64_t created_ = 0;
   std::int64_t completed_ = 0;
   std::int64_t payload_delivered_ = 0;
+  std::int64_t suspicions_ = 0;
+  std::int64_t repairs_ = 0;
+  std::int64_t sends_rerouted_ = 0;
+  std::int64_t messages_disrupted_ = 0;
+  std::int64_t links_failed_ = 0;
   Time last_completion_ = 0;
-  std::unordered_map<std::uint64_t, Time> outstanding_;  // id -> created_at
+  Time last_suspicion_ = 0;
+  Time last_repair_ = 0;
+  // Live contexts so repair can triage in-flight messages, not just ages.
+  std::unordered_map<std::uint64_t, std::shared_ptr<MessageContext>> outstanding_;
   std::unordered_map<std::uint64_t, std::vector<std::uint64_t>> orders_;
 };
 

@@ -1,5 +1,6 @@
 #include "core/network.h"
 
+#include <algorithm>
 #include <sstream>
 #include <utility>
 
@@ -39,6 +40,8 @@ Network::Network(Topology topo, std::vector<MulticastGroupSpec> groups,
         sim_, *adapters_.back(), *routing_, *tables_, metrics_,
         config_.protocol, master.fork(0x5000 + static_cast<std::uint64_t>(h)),
         n));
+    protocols_.back()->set_failure_listener(
+        [this](HostId dead) { declare_host_dead(dead); });
   }
   traffic_ = std::make_unique<TrafficGenerator>(
       sim_, config_.traffic, groups_, n, master.fork(0x7AFF1C),
@@ -92,6 +95,80 @@ std::shared_ptr<MessageContext> Network::send_switch_broadcast(
   return ctx;
 }
 
+void Network::crash_host(HostId h, Time when) {
+  sim_.at(when, [this, h] {
+    faults_->mark_host_dead(h);
+    protocols_[h]->on_crash();
+  });
+}
+
+void Network::fail_link(LinkId l, Time when) {
+  sim_.at(when, [this, l] {
+    const TopoLink& link = topo_.link(l);
+    faults_->kill_link(&fabric_->channel_from(l, link.node_a));
+    faults_->kill_link(&fabric_->channel_from(l, link.node_b));
+    // Recompute up/down labels around the dead link; this also clears the
+    // route caches, so every retransmission travels the healed paths.
+    routing_->fail_link(l);
+    tree_routing_->fail_link(l);
+    metrics_.on_link_failed();
+  });
+}
+
+void Network::declare_host_dead(HostId dead) {
+  if (!removed_hosts_.insert(dead).second) return;  // already repaired
+  faults_->mark_host_dead(dead);
+  protocols_[dead]->on_crash();  // no-op when already crashed
+
+  // Message-accounting triage *before* the tables forget the member: a
+  // message is abandoned when its origin (or unicast destination) died;
+  // a multicast merely loses one destination when a member that had not
+  // yet delivered it died.
+  for (const std::shared_ptr<MessageContext>& ctx :
+       metrics_.outstanding_messages()) {
+    if (ctx->origin == dead ||
+        (ctx->group == kNoGroup && ctx->unicast_dst == dead)) {
+      metrics_.abandon_message(ctx);
+      continue;
+    }
+    if (ctx->group == kNoGroup) continue;
+    const bool dead_is_dest = ctx->group == kBroadcastGroup ||
+                              tables_->circuit(ctx->group).contains(dead);
+    if (!dead_is_dest) continue;
+    const std::vector<std::uint64_t>* order =
+        metrics_.order_of(dead, ctx->group);
+    const bool already_delivered =
+        order != nullptr && std::find(order->begin(), order->end(),
+                                      ctx->message_id) != order->end();
+    if (!already_delivered) metrics_.shrink_destinations(ctx, sim_.now());
+  }
+
+  // Heal the shared group structures in place: splice the circuits,
+  // re-parent orphaned subtrees, promote a new root where needed. Every
+  // protocol sees the repaired tables immediately (shared by reference).
+  const GroupTables::RepairStats stats = tables_->remove_member(dead);
+  repair_stats_.circuits_spliced += stats.circuits_spliced;
+  repair_stats_.subtrees_reparented += stats.subtrees_reparented;
+  repair_stats_.roots_promoted += stats.roots_promoted;
+
+  // Let every survivor retarget its in-flight sends onto the repaired
+  // structures (the PR-1 retry machinery then redelivers them).
+  for (const auto& protocol : protocols_)
+    protocol->on_peer_removed(dead, stats.reattachments);
+  metrics_.on_repair(sim_.now());
+
+  // Grace sweep: copies that died *inside* the crashed member (ACKed but
+  // never forwarded) leave their message outstanding forever. Give the
+  // repaired structures a grace period to finish honest stragglers, then
+  // write the rest off as disrupted so quiescence drains.
+  const Time repaired_at = sim_.now();
+  sim_.after(config_.protocol.repair_grace, [this, repaired_at] {
+    for (const std::shared_ptr<MessageContext>& ctx :
+         metrics_.outstanding_messages())
+      if (ctx->created_at <= repaired_at) metrics_.abandon_message(ctx);
+  });
+}
+
 void Network::run(Time warmup, Time measure, Time drain_cap) {
   metrics_.set_window_start(warmup);
   measure_span_ = measure;
@@ -138,6 +215,14 @@ Network::Summary Network::summary() const {
   s.duplicates_suppressed = metrics_.duplicates_suppressed();
   s.deliveries_failed = metrics_.deliveries_failed();
   s.messages_completed = metrics_.messages_completed();
+  s.suspicions = metrics_.suspicions();
+  s.hosts_crashed = faults_->hosts_crashed();
+  s.hosts_removed = static_cast<std::int64_t>(removed_hosts_.size());
+  s.links_failed = metrics_.links_failed();
+  s.sends_rerouted = metrics_.sends_rerouted();
+  s.messages_disrupted = metrics_.messages_disrupted();
+  s.unicasts_flushed = mcast_engine_->unicasts_flushed();
+  s.last_repair_time = metrics_.last_repair_time();
   return s;
 }
 
@@ -155,7 +240,8 @@ std::string Network::debug_report() const {
       << " faults=" << faults_->total_injected() << '\n';
   for (HostId h = 0; h < topo_.num_hosts(); ++h) {
     const HostProtocol::DebugSnapshot snap = protocols_[h]->debug_snapshot();
-    out << "host " << h << ": tasks=" << snap.tasks.size()
+    out << "host " << h << ':' << (protocols_[h]->crashed() ? " dead" : "")
+        << " tasks=" << snap.tasks.size()
         << " pool_used=" << snap.pool_used
         << " ack_wait=" << snap.ack_wait_keys.size()
         << " txq=" << adapters_[h]->tx_queue_depth() << '\n';

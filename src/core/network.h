@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "adapter/host_adapter.h"
@@ -89,6 +90,36 @@ class Network {
   /// schedule link outages before/while running.
   [[nodiscard]] FaultInjector& faults() { return *faults_; }
 
+  // --- permanent faults -----------------------------------------------
+
+  /// Schedules a crash-stop failure of host `h` at `when`: queued
+  /// transmissions vanish (the worm mid-DMA finishes), every buffer is
+  /// released, and the host never sends or accepts another byte. The crash
+  /// is *silent* — survivors must detect it through ACK/probe suspicion
+  /// and then repair the group structures around it.
+  void crash_host(HostId h, Time when);
+
+  /// Schedules the permanent death of link `l` at `when`: both directed
+  /// channels swallow traffic forever and the up/down routing recomputes
+  /// (tolerating a partitioned residue), invalidating every cached route
+  /// so retransmissions travel the healed paths.
+  void fail_link(LinkId l, Time when);
+
+  /// Declares `dead` crashed and repairs every shared structure around it:
+  /// abandons/shrinks affected message accounting, splices `dead` out of
+  /// each group circuit, re-parents orphaned tree subtrees, then lets each
+  /// surviving protocol retarget its in-flight sends. Idempotent; invoked
+  /// automatically by the failure detector, callable directly by tests.
+  void declare_host_dead(HostId dead);
+
+  /// Cumulative structure-repair counts from declare_host_dead.
+  [[nodiscard]] const GroupTables::RepairStats& repair_stats() const {
+    return repair_stats_;
+  }
+  [[nodiscard]] bool host_removed(HostId h) const {
+    return removed_hosts_.count(h) > 0;
+  }
+
   /// One-line-per-host dump of recovery-relevant state (active tasks, pool
   /// bytes held, un-ACKed sends, adapter queue depths) — what the deadlock
   /// watchdog prints when a faulted run stalls.
@@ -123,6 +154,15 @@ class Network {
     std::int64_t duplicates_suppressed = 0;
     std::int64_t deliveries_failed = 0;    // sends abandoned (max_attempts)
     std::int64_t messages_completed = 0;
+    // Permanent failures & repair.
+    std::int64_t suspicions = 0;           // failure-detector accusations
+    std::int64_t hosts_crashed = 0;        // crash-stop faults injected
+    std::int64_t hosts_removed = 0;        // declared dead + repaired around
+    std::int64_t links_failed = 0;         // permanent link deaths
+    std::int64_t sends_rerouted = 0;       // sends retargeted by repair
+    std::int64_t messages_disrupted = 0;   // abandoned at repair time
+    std::int64_t unicasts_flushed = 0;     // scheme (c) switch-side flushes
+    Time last_repair_time = 0;
   };
   [[nodiscard]] Summary summary() const;
 
@@ -142,6 +182,8 @@ class Network {
   std::vector<std::unique_ptr<HostProtocol>> protocols_;
   std::unique_ptr<TrafficGenerator> traffic_;
   std::unique_ptr<DeadlockWatchdog> watchdog_;
+  std::unordered_set<HostId> removed_hosts_;
+  GroupTables::RepairStats repair_stats_;
   Time measure_span_ = 0;
   std::int64_t egress_at_window_start_ = 0;
   std::int64_t egress_at_window_end_ = 0;

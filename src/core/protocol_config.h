@@ -112,6 +112,25 @@ struct ProtocolConfig {
   /// from this memory instead of being re-delivered or re-forwarded.
   int dedup_window = 4096;
 
+  // --- failure detection & repair (crash-stop hosts) ------------------------
+  /// When > 0 (requires recovery, i.e. reservation + ack_timeout), a peer
+  /// that has stayed silent for this long past a send's first transmission
+  /// despite retries — or that ignores explicit liveness probes — is
+  /// suspected crash-stopped: the suspicion is disseminated and every
+  /// circuit/tree containing the peer is repaired in place. 0 = off.
+  Time suspicion_timeout = 0;
+
+  /// Gap between explicit liveness probes of a host's protocol neighbours
+  /// (circuit successor, tree parent and children) while it has traffic in
+  /// flight; probes catch dead peers that no pending send would expose.
+  /// 0 derives suspicion_timeout / 4 (minimum 1).
+  Time probe_interval = 0;
+
+  /// After a repair, in-flight messages that may have lost a hop copy
+  /// inside the dead member (received and ACKed but not yet forwarded) get
+  /// this long to finish before being abandoned as disrupted.
+  Time repair_grace = 100'000;
+
   /// Cap children per node in the rooted tree (0 = unlimited; 2 mimics the
   /// binary trees of [VLB96]).
   int max_tree_fanout = 0;

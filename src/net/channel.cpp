@@ -78,10 +78,12 @@ void Channel::classify_fault(const TxByte& b) {
   fault_mode_ = FaultMode::kNone;
   const WormPtr& w = b.worm;
   if (faults_->link_down(this, sim_.now())) {
+    faults_->note_outage_drop();  // this head byte IS a discarded worm
     fault_mode_ = FaultMode::kSwallow;
     return;
   }
-  if (w->kind == WormKind::kAck || w->kind == WormKind::kNack) {
+  if (w->kind == WormKind::kAck || w->kind == WormKind::kNack ||
+      w->kind == WormKind::kProbe || w->kind == WormKind::kProbeAck) {
     if (faults_->should_drop_control()) fault_mode_ = FaultMode::kSwallow;
     return;
   }

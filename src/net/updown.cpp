@@ -11,21 +11,29 @@ namespace wormcast {
 UpDownRouting::UpDownRouting(const Topology& topo, Options opts)
     : topo_(topo), tree_links_only_(opts.tree_links_only) {
   // Root: requested, or the highest-degree switch (lowest id on ties).
-  root_ = opts.root;
-  if (root_ == kNoNode) {
+  preferred_root_ = opts.root;
+  if (preferred_root_ == kNoNode) {
     std::size_t best_degree = 0;
     for (NodeId n = 0; n < topo_.num_nodes(); ++n) {
       if (topo_.node(n).kind != NodeKind::kSwitch) continue;
-      if (root_ == kNoNode || topo_.node(n).ports.size() > best_degree) {
-        root_ = n;
+      if (preferred_root_ == kNoNode ||
+          topo_.node(n).ports.size() > best_degree) {
+        preferred_root_ = n;
         best_degree = topo_.node(n).ports.size();
       }
     }
   }
-  if (root_ == kNoNode || topo_.node(root_).kind != NodeKind::kSwitch)
+  if (preferred_root_ == kNoNode ||
+      topo_.node(preferred_root_).kind != NodeKind::kSwitch)
     throw std::logic_error("up/down routing requires a switch root");
+  link_dead_.assign(static_cast<std::size_t>(topo_.num_links()), false);
+  rebuild(/*allow_partial=*/false);
+}
 
-  // BFS levels from the root.
+void UpDownRouting::rebuild(bool allow_partial) {
+  root_ = preferred_root_;
+
+  // BFS levels from the root over the surviving links.
   levels_.assign(static_cast<std::size_t>(topo_.num_nodes()), -1);
   on_tree_.assign(static_cast<std::size_t>(topo_.num_links()), false);
   std::queue<NodeId> frontier;
@@ -35,6 +43,7 @@ UpDownRouting::UpDownRouting(const Topology& topo, Options opts)
     const NodeId n = frontier.front();
     frontier.pop();
     for (const TopoPort& p : topo_.node(n).ports) {
+      if (link_dead_[p.link]) continue;
       const NodeId m = topo_.peer(p.link, n);
       if (levels_[m] == -1) {
         levels_[m] = levels_[n] + 1;
@@ -43,21 +52,35 @@ UpDownRouting::UpDownRouting(const Topology& topo, Options opts)
       }
     }
   }
-  for (int lv : levels_)
-    if (lv == -1) throw std::logic_error("topology disconnected from root");
+  if (!allow_partial) {
+    for (int lv : levels_)
+      if (lv == -1) throw std::logic_error("topology disconnected from root");
+  }
 
   // Up/down labels: the up end is the endpoint with the smaller level;
-  // node id breaks ties (lower id counts as higher in the tree).
+  // node id breaks ties (lower id counts as higher in the tree). Dead and
+  // disconnected links keep kNoNode, and no route may use them.
   up_end_.assign(static_cast<std::size_t>(topo_.num_links()), kNoNode);
   for (LinkId l = 0; l < topo_.num_links(); ++l) {
+    if (link_dead_[l]) continue;
     const TopoLink& lk = topo_.link(l);
     const int la = levels_[lk.node_a];
     const int lb = levels_[lk.node_b];
+    if (la == -1 || lb == -1) continue;
     if (la != lb)
       up_end_[l] = la < lb ? lk.node_a : lk.node_b;
     else
       up_end_[l] = std::min(lk.node_a, lk.node_b);
   }
+}
+
+void UpDownRouting::fail_link(LinkId l) {
+  if (link_dead_[l]) return;
+  link_dead_[l] = true;
+  ++links_failed_;
+  rebuild(/*allow_partial=*/true);
+  route_cache_.clear();
+  hop_cache_.clear();
 }
 
 UpDownRouting::PathResult UpDownRouting::shortest_legal_path(NodeId from_sw,
@@ -81,6 +104,7 @@ UpDownRouting::PathResult UpDownRouting::shortest_legal_path(NodeId from_sw,
     frontier.pop();
     for (const TopoPort& p : topo_.node(n).ports) {
       const LinkId l = p.link;
+      if (link_dead_[l] || up_end_[l] == kNoNode) continue;
       if (tree_links_only_ && !on_tree_[l]) continue;
       const NodeId m = topo_.peer(l, n);
       if (topo_.node(m).kind != NodeKind::kSwitch) continue;  // hosts are leaves
@@ -134,19 +158,33 @@ SourceRoute UpDownRouting::path_to_route(HostId src, const PathResult& path,
 
 SourceRoute UpDownRouting::route(HostId src, HostId dst) const {
   if (src == dst) throw std::logic_error("route to self");
+  const std::uint64_t key = pair_key(src, dst);
+  if (const auto it = route_cache_.find(key); it != route_cache_.end())
+    return it->second;
   const NodeId from_sw = topo_.switch_of_host(src);
   const NodeId to_sw = topo_.switch_of_host(dst);
+  if (levels_[from_sw] == -1 || levels_[to_sw] == -1)
+    throw std::logic_error("no legal up/down path");
   const PathResult path = shortest_legal_path(from_sw, to_sw);
-  return path_to_route(src, path, topo_.node_of_host(dst));
+  SourceRoute out = path_to_route(src, path, topo_.node_of_host(dst));
+  route_cache_.emplace(key, out);
+  return out;
 }
 
 int UpDownRouting::hop_count(HostId src, HostId dst) const {
   if (src == dst) return 0;
+  const std::uint64_t key = pair_key(src, dst);
+  if (const auto it = hop_cache_.find(key); it != hop_cache_.end())
+    return it->second;
   const NodeId from_sw = topo_.switch_of_host(src);
   const NodeId to_sw = topo_.switch_of_host(dst);
+  if (levels_[from_sw] == -1 || levels_[to_sw] == -1)
+    throw std::logic_error("no legal up/down path");
   const PathResult path = shortest_legal_path(from_sw, to_sw);
   // Host link out, switch-to-switch links, host link in.
-  return static_cast<int>(path.links.size()) + 2;
+  const int hops = static_cast<int>(path.links.size()) + 2;
+  hop_cache_.emplace(key, hops);
+  return hops;
 }
 
 std::vector<NodeId> UpDownRouting::switch_path(HostId src, HostId dst) const {
@@ -160,6 +198,7 @@ std::vector<PortId> UpDownRouting::down_tree_ports(NodeId sw) const {
   const TopoNode& node = topo_.node(sw);
   for (std::size_t p = 0; p < node.ports.size(); ++p) {
     const LinkId l = node.ports[p].link;
+    if (link_dead_[l]) continue;
     if (on_tree_[l] && up_end_[l] == sw) out.push_back(static_cast<PortId>(p));
   }
   return out;
@@ -168,6 +207,8 @@ std::vector<PortId> UpDownRouting::down_tree_ports(NodeId sw) const {
 SourceRoute UpDownRouting::route_to_root(HostId src) const {
   const NodeId from_sw = topo_.switch_of_host(src);
   if (from_sw == root_) return SourceRoute{};
+  if (levels_[from_sw] == -1)
+    throw std::logic_error("no legal up/down path");
   const PathResult path = shortest_legal_path(from_sw, root_);
   std::vector<PortId> ports;
   ports.reserve(path.links.size());

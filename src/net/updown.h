@@ -5,8 +5,15 @@
 // closer to the root, with node id breaking ties. A legal route traverses
 // zero or more up links followed by zero or more down links; this breaks
 // every circular wait and hence prevents fabric deadlock.
+//
+// Autonet's raison d'être was reconfiguration after component failure:
+// fail_link() removes a link permanently and recomputes the spanning tree
+// and labels over the surviving links, invalidating the route/hop caches so
+// the next retransmission uses the healed paths.
 #pragma once
 
+#include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "net/source_route.h"
@@ -31,7 +38,8 @@ class UpDownRouting {
   explicit UpDownRouting(const Topology& topo, Options opts = Options());
 
   [[nodiscard]] NodeId root() const { return root_; }
-  /// BFS distance of a node from the root.
+  /// BFS distance of a node from the root; -1 if the node was cut off by
+  /// permanent link deaths (routing to/from it throws).
   [[nodiscard]] int level(NodeId n) const { return levels_[n]; }
   /// The endpoint of `l` that is "up" (closer to the root / lower id).
   [[nodiscard]] NodeId up_end(LinkId l) const { return up_end_[l]; }
@@ -42,10 +50,18 @@ class UpDownRouting {
     return up_end_[l] != from;
   }
 
+  /// Removes `l` from the topology as seen by this routing instance and
+  /// recomputes the spanning tree, labels and (lazily) all routes over the
+  /// surviving links. The root is kept if still reachable. Nodes cut off
+  /// entirely get level -1; routing to them throws. Idempotent per link.
+  void fail_link(LinkId l);
+  [[nodiscard]] bool link_alive(LinkId l) const { return !link_dead_[l]; }
+  [[nodiscard]] std::int64_t links_failed() const { return links_failed_; }
+
   /// Source route (switch output ports) from one host to another. The path
   /// is the shortest legal up/down path, with deterministic tie-breaking,
   /// so exactly one path per pair is ever used (as in the paper's
-  /// simulations). Throws if src == dst.
+  /// simulations). Throws if src == dst or no surviving legal path exists.
   [[nodiscard]] SourceRoute route(HostId src, HostId dst) const;
 
   /// Number of switch-to-switch hops on route(src, dst) plus host links;
@@ -70,16 +86,32 @@ class UpDownRouting {
     std::vector<NodeId> nodes;  // sw path: switch sequence src_sw..dst_sw
     std::vector<LinkId> links;  // links between consecutive switches
   };
+  /// (Re)computes root, BFS levels, tree membership and up/down labels over
+  /// the links still alive. `allow_partial` tolerates disconnected nodes
+  /// (post-failure); the constructor passes false so a malformed topology
+  /// still fails loudly.
+  void rebuild(bool allow_partial);
   [[nodiscard]] PathResult shortest_legal_path(NodeId from_sw, NodeId to_sw) const;
   [[nodiscard]] SourceRoute path_to_route(HostId src, const PathResult& path,
                                           NodeId final_dest_node) const;
+  [[nodiscard]] static std::uint64_t pair_key(HostId src, HostId dst) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 32) |
+           static_cast<std::uint32_t>(dst);
+  }
 
   const Topology& topo_;
   NodeId root_ = kNoNode;
+  NodeId preferred_root_ = kNoNode;  // survives rebuilds while reachable
   bool tree_links_only_ = false;
   std::vector<int> levels_;       // by NodeId
   std::vector<NodeId> up_end_;    // by LinkId
   std::vector<bool> on_tree_;     // by LinkId
+  std::vector<bool> link_dead_;   // by LinkId
+  std::int64_t links_failed_ = 0;
+  // Per-pair memoization; fail_link() clears both so retransmissions pick
+  // up the recomputed paths.
+  mutable std::unordered_map<std::uint64_t, SourceRoute> route_cache_;
+  mutable std::unordered_map<std::uint64_t, int> hop_cache_;
 };
 
 }  // namespace wormcast

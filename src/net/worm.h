@@ -14,10 +14,12 @@ namespace wormcast {
 /// What a worm carries. Control worms (ACK/NACK) are tiny unicast worms
 /// used by the host-adapter implicit-reservation protocol (Section 4).
 enum class WormKind : std::uint8_t {
-  kData,        // unicast payload, or one hop of a host-adapter multicast
-  kAck,         // reservation accepted by the successor adapter
-  kNack,        // reservation refused; sender retransmits after timeout
-  kSwitchMcast  // switch-level multicast worm (Section 3; tree-encoded route)
+  kData,         // unicast payload, or one hop of a host-adapter multicast
+  kAck,          // reservation accepted by the successor adapter
+  kNack,         // reservation refused; sender retransmits after timeout
+  kSwitchMcast,  // switch-level multicast worm (Section 3; tree-encoded route)
+  kProbe,        // failure-detector liveness probe (crash-stop detection)
+  kProbeAck      // probe response; receipt refreshes the sender's suspicion clock
 };
 
 /// Control operations of the [VLB96] centralized credit scheme.
@@ -59,6 +61,9 @@ struct MessageContext {
   std::uint64_t message_id = 0;
   HostId origin = kNoHost;
   GroupId group = kNoGroup;  // kNoGroup for unicast
+  /// Destination of a plain unicast (kNoHost for multicasts); lets the
+  /// repair layer abandon unicasts addressed to a crash-stopped host.
+  HostId unicast_dst = kNoHost;
   Time created_at = 0;       // when the application generated the message
   std::int64_t payload = 0;
   int destinations_total = 0;

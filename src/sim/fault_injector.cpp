@@ -73,16 +73,21 @@ void FaultInjector::schedule_outage(const void* channel, Time from, Time until) 
   rearm();
 }
 
-bool FaultInjector::link_down(const void* channel, Time now) {
+bool FaultInjector::link_down(const void* channel, Time now) const {
   for (const Outage& o : outages_) {
     if (o.channel != nullptr && o.channel != channel) continue;
-    if (now >= o.from && now < o.until) {
-      ++outage_drops_;
-      return true;
-    }
+    if (now >= o.from && now < o.until) return true;
   }
   return false;
 }
+
+void FaultInjector::kill_link(const void* channel) {
+  outages_.push_back(Outage{channel, 0, kTimeNever});
+  ++links_killed_;
+  rearm();
+}
+
+void FaultInjector::mark_host_dead(HostId h) { dead_hosts_.insert(h); }
 
 void FaultInjector::force_kill_data(int count, HostId dst) {
   for (int i = 0; i < count; ++i) forced_kills_.push_back(ForcedKill{dst});

@@ -11,7 +11,9 @@
 //   * drop a worm at an adapter's receive engine before the protocol
 //     sees it, and
 //   * take a link down for a scheduled interval (every crossing worm
-//     during the outage is swallowed).
+//     during the outage is swallowed),
+//   * kill a link permanently (an outage that never ends), and
+//   * record crash-stop host deaths for the failure-detection layer.
 //
 // All probabilistic draws come from one forked RandomStream, so a given
 // (seed, config) pair injects the identical fault sequence on every run —
@@ -26,6 +28,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <unordered_set>
 #include <vector>
 
 #include "sim/random.h"
@@ -85,9 +88,27 @@ class FaultInjector {
   /// (an opaque identity key); nullptr means "every channel".
   void schedule_outage(const void* channel, Time from, Time until);
 
-  /// Is the channel inside an outage window at `now`? Counts a drop when
-  /// true (callers only ask at a worm head they are about to swallow).
-  bool link_down(const void* channel, Time now);
+  /// Is the channel inside an outage window at `now`? A pure query: call
+  /// note_outage_drop() at the site that actually discards a worm, so
+  /// double-querying a channel never double-counts.
+  [[nodiscard]] bool link_down(const void* channel, Time now) const;
+
+  /// Records one worm swallowed by an outage / dead link.
+  void note_outage_drop() { ++outage_drops_; }
+
+  // --- permanent faults (crash-stop hosts, link death) -----------------------
+
+  /// Kills the channel forever, effective immediately: an outage with no
+  /// end. Repair never resurrects it (crash-stop semantics for links).
+  void kill_link(const void* channel);
+
+  /// Declares the host crash-stopped. The injector only records the fact
+  /// (for counters and queries); Network wires the behavioural side
+  /// (HostProtocol::on_crash) when it schedules the crash.
+  void mark_host_dead(HostId h);
+  [[nodiscard]] bool host_dead(HostId h) const {
+    return dead_hosts_.count(h) != 0;
+  }
 
   // --- forced faults (deterministic test hooks) ------------------------------
 
@@ -105,6 +126,10 @@ class FaultInjector {
   [[nodiscard]] std::int64_t controls_dropped() const { return controls_dropped_; }
   [[nodiscard]] std::int64_t rx_dropped() const { return rx_dropped_; }
   [[nodiscard]] std::int64_t outage_drops() const { return outage_drops_; }
+  [[nodiscard]] std::int64_t hosts_crashed() const {
+    return static_cast<std::int64_t>(dead_hosts_.size());
+  }
+  [[nodiscard]] std::int64_t links_killed() const { return links_killed_; }
   [[nodiscard]] std::int64_t total_injected() const {
     return worms_killed_ + controls_dropped_ + rx_dropped_ + outage_drops_;
   }
@@ -129,11 +154,13 @@ class FaultInjector {
   std::deque<ForcedKill> forced_kills_;
   int forced_ctrl_drops_ = 0;
   int forced_rx_drops_ = 0;
+  std::unordered_set<HostId> dead_hosts_;
 
   std::int64_t worms_killed_ = 0;
   std::int64_t controls_dropped_ = 0;
   std::int64_t rx_dropped_ = 0;
   std::int64_t outage_drops_ = 0;
+  std::int64_t links_killed_ = 0;
 };
 
 }  // namespace wormcast

@@ -52,6 +52,27 @@ TEST(FaultDeterminism, SameSeedSameStatistics) {
   EXPECT_GT(a.faults_injected, 0) << "scenario must actually exercise faults";
 }
 
+// link_down() is a pure predicate: callers may query it any number of
+// times (e.g. once per byte) without inflating the drop counter; only the
+// site that actually discards a worm calls note_outage_drop().
+TEST(FaultDeterminism, LinkDownQueryNeverCounts) {
+  FaultInjector faults(RandomStream(1));
+  const int channel_tag = 0;  // address used as the channel identity key
+  faults.schedule_outage(&channel_tag, 10, 20);
+  EXPECT_FALSE(faults.link_down(&channel_tag, 5));
+  EXPECT_TRUE(faults.link_down(&channel_tag, 15));
+  EXPECT_TRUE(faults.link_down(&channel_tag, 15));  // double query, no effect
+  EXPECT_FALSE(faults.link_down(&channel_tag, 25));
+  EXPECT_EQ(faults.outage_drops(), 0);
+  faults.note_outage_drop();
+  EXPECT_EQ(faults.outage_drops(), 1);
+  // Permanent death: an outage that never ends, counted separately.
+  faults.kill_link(&channel_tag);
+  EXPECT_TRUE(faults.link_down(&channel_tag, 1'000'000'000));
+  EXPECT_EQ(faults.links_killed(), 1);
+  EXPECT_EQ(faults.outage_drops(), 1);
+}
+
 TEST(FaultDeterminism, DifferentSeedDifferentFaults) {
   const Network::Summary a = run_faulted(1234);
   const Network::Summary b = run_faulted(987654321);

@@ -108,5 +108,87 @@ TEST_F(GroupTablesTest, SingleMemberGroup) {
   EXPECT_EQ(t.depth(), 0);
 }
 
+// --- in-place repair (crash-stop member removal) ----------------------------
+
+TEST_F(GroupTablesTest, CircuitRemoveSplicesInOrder) {
+  CircuitTable c({3, 7, 9, 12});
+  EXPECT_TRUE(c.remove(9));
+  EXPECT_EQ(c.order(), (std::vector<HostId>{3, 7, 12}));
+  EXPECT_EQ(c.next(7), 12);  // predecessor re-linked past the dead member
+  EXPECT_EQ(c.next(12), 3);  // the single wrap reversal survives
+  EXPECT_FALSE(c.remove(9));  // not a member any more
+  EXPECT_TRUE(c.remove(12));  // removing the highest moves the wrap
+  EXPECT_EQ(c.next(7), 3);
+}
+
+TEST_F(GroupTablesTest, TreeRemoveMemberKeepsParentIdInvariant) {
+  TreeTable t({0, 1, 2, 3, 4, 5, 6, 7, 8, 9}, routing_, /*max_fanout=*/2);
+  // Pick an internal member so subtrees actually re-parent.
+  HostId victim = kNoHost;
+  for (const HostId m : t.members())
+    if (m != t.root() && !t.children(m).empty()) victim = m;
+  ASSERT_NE(victim, kNoHost);
+  const auto orphans = t.children(victim);
+
+  const TreeTable::RemovalResult r = t.remove_member(victim, routing_, 2);
+  ASSERT_TRUE(r.removed);
+  EXPECT_FALSE(r.root_promoted);
+  EXPECT_EQ(r.subtrees_reparented, static_cast<int>(orphans.size()));
+  EXPECT_EQ(r.reattached.size(), orphans.size());
+  EXPECT_FALSE(t.contains(victim));
+  for (const auto& [orphan, parent] : r.reattached) {
+    EXPECT_LT(parent, orphan) << "adopter must keep parent-ID < child-ID";
+    EXPECT_EQ(t.parent(orphan), parent);
+  }
+  // Global invariants after repair: spanning, parents below children.
+  int reached = 0;
+  std::vector<HostId> stack{t.root()};
+  while (!stack.empty()) {
+    const HostId h = stack.back();
+    stack.pop_back();
+    ++reached;
+    for (const HostId c : t.children(h)) {
+      EXPECT_LT(h, c);
+      stack.push_back(c);
+    }
+  }
+  EXPECT_EQ(reached, t.size());
+}
+
+TEST_F(GroupTablesTest, TreeRootRemovalPromotesLowestSurvivor) {
+  TreeTable t({2, 5, 8, 11, 14}, routing_);
+  ASSERT_EQ(t.root(), 2);
+  const TreeTable::RemovalResult r = t.remove_member(2, routing_, 0);
+  ASSERT_TRUE(r.removed);
+  EXPECT_TRUE(r.root_promoted);
+  EXPECT_EQ(t.root(), 5);
+  EXPECT_EQ(t.parent(5), kNoHost);
+  for (const HostId m : t.members())
+    if (m != t.root()) EXPECT_LT(t.parent(m), m);
+}
+
+TEST_F(GroupTablesTest, GroupTablesRemoveMemberRepairsEveryGroup) {
+  MulticastGroupSpec g0{0, {1, 4, 7}};
+  MulticastGroupSpec g1{1, {0, 2, 4, 6}};
+  MulticastGroupSpec solo{2, {4}};
+  GroupTables tables({g0, g1, solo}, routing_);
+
+  const GroupTables::RepairStats stats = tables.remove_member(4);
+  // Spliced out of both real groups; the sole-member group is left intact
+  // (nothing to repair, no surviving sender).
+  EXPECT_EQ(stats.circuits_spliced, 2);
+  EXPECT_EQ(tables.circuit(0).order(), (std::vector<HostId>{1, 7}));
+  EXPECT_FALSE(tables.circuit(1).contains(4));
+  EXPECT_FALSE(tables.tree(1).contains(4));
+  EXPECT_TRUE(tables.circuit(2).contains(4));
+  // Every reattachment record is tagged with its group and names a
+  // surviving adopter.
+  for (const auto& r : stats.reattachments) {
+    EXPECT_NE(r.group, kNoGroup);
+    EXPECT_LT(r.new_parent, r.orphan);
+    EXPECT_TRUE(tables.tree(r.group).contains(r.new_parent));
+  }
+}
+
 }  // namespace
 }  // namespace wormcast

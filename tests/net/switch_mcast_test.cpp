@@ -160,6 +160,50 @@ TEST(SwitchMcast, FlushUnicastActuallyFlushes) {
   EXPECT_EQ(net.adapter(2).payload_bytes_received(), 800 + 2000);
 }
 
+// Scheme (c)'s flush handler with the fault-injection subsystem armed: the
+// switch-side flush is the only fault that fires, so the flushed unicast
+// must be retransmitted exactly once, delivered exactly once, and the
+// engine's flush counter must agree with the run summary.
+TEST(SwitchMcast, FlushedUnicastUnderArmedFaultsRetransmitsOnce) {
+  MulticastGroupSpec group;
+  group.id = 0;
+  group.members = {0, 2, 3};
+  ExperimentConfig cfg = switch_cfg(SwitchMcastScheme::kFlushUnicast);
+  cfg.switch_mcast.idle_flush_threshold = 64;
+  cfg.protocol.retry_jitter = 0;
+  // Back off past the stalling unicast so the single retry finds the port
+  // clean instead of being flushed a second time.
+  cfg.protocol.retry_backoff = 8'000;
+  Network net(make_line(4), {group}, cfg);
+  // Arm the injector without any probabilistic fault: a momentary outage
+  // window before traffic exists keeps every hook site live for the run.
+  net.faults().schedule_outage(nullptr, 0, 1);
+  Demand uni;
+  uni.src = 2;
+  uni.dst = 3;
+  uni.length = 6000;
+  net.inject(uni);
+  net.run_until(100);
+  net.send_switch_multicast(0, 0, 800);
+  net.run_until(600);
+  Demand blocked;
+  blocked.src = 1;
+  blocked.dst = 2;
+  blocked.length = 2000;
+  net.inject(blocked);
+  net.run_to_quiescence();
+
+  ASSERT_TRUE(net.faults().armed());
+  const Network::Summary s = net.summary();
+  EXPECT_EQ(s.unicasts_flushed, 1);
+  EXPECT_EQ(net.switch_mcast_engine().unicasts_flushed(), 1)
+      << "summary must mirror the engine counter";
+  EXPECT_EQ(s.retransmits, 1) << "the flush retry, and only it";
+  EXPECT_EQ(s.outstanding, 0);
+  // Exactly once: the multicast copy plus the one retried unicast.
+  EXPECT_EQ(net.adapter(2).payload_bytes_received(), 800 + 2000);
+}
+
 TEST(SwitchMcast, InterruptProducesFragmentsUnderContention) {
   MulticastGroupSpec group;
   group.id = 0;
