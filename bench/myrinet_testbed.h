@@ -29,13 +29,20 @@ inline double to_mbps(double bytes_per_bt) { return bytes_per_bt * 640.0; }
 struct TestbedResult {
   double throughput_mbps = 0.0;  // received payload rate per host
   double loss_rate = 0.0;        // input-buffer drops / arrivals, per host
+  // Simulator hot-path counters (bench/sim_hotpath.cpp).
+  std::int64_t events_dispatched = 0;
+  std::int64_t event_queue_peak = 0;
+  std::int64_t bytes_on_wire = 0;  // bytes delivered across every channel
 };
 
 /// Runs the testbed with `senders` hosts multicasting `packet_size`-byte
 /// packets as fast as the adapter accepts them, for `span` byte-times.
+/// `burst_channels` toggles the channel burst fast path (results are
+/// identical either way; the hot-path bench times both).
 inline TestbedResult run_testbed(int senders, std::int64_t packet_size,
-                                 Time span) {
+                                 Time span, bool burst_channels = true) {
   ExperimentConfig cfg;
+  cfg.fabric.burst_channels = burst_channels;
   cfg.protocol.scheme = Scheme::kHamiltonianSF;
   cfg.protocol.reservation = false;   // the Section 8 implementation
   cfg.protocol.buffer_classes = false;
@@ -114,6 +121,9 @@ inline TestbedResult run_testbed(int senders, std::int64_t packet_size,
   const double window = static_cast<double>(span - warmup);
   out.throughput_mbps = to_mbps(rx_total / window / receivers);
   out.loss_rate = arrivals > 0.0 ? drops / arrivals : 0.0;
+  out.events_dispatched = net.sim().events_dispatched();
+  out.event_queue_peak = net.sim().event_queue_peak();
+  out.bytes_on_wire = net.fabric().fabric_bytes_sent();
   return out;
 }
 

@@ -1,0 +1,96 @@
+// Simulation hot-path benchmark: how fast does the simulator itself run?
+//
+// Times the Figure-12-scale end-to-end scenario (8 hosts saturating a
+// 4-switch Myrinet with 8 KB multicast packets) twice — once with the
+// burst-mode channel fast path, once forced per-byte — and reports
+// events/second, simulated bytes per wall-second, the event-queue peak
+// size, and the wall-clock speedup of burst mode. The two runs produce
+// bit-for-bit identical simulation results (pinned by the
+// burst_equivalence ctest); only the event count and wall time differ.
+//
+// CI runs `--quick` as a smoke test and archives BENCH_sim_hotpath.json.
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "bench_util.h"
+#include "myrinet_testbed.h"
+
+using namespace wormcast;
+
+namespace {
+
+struct Timed {
+  bench::TestbedResult result;
+  double wall_ms = 0.0;
+};
+
+Timed timed_run(std::int64_t packet, Time span, bool burst) {
+  const auto t0 = std::chrono::steady_clock::now();
+  Timed t;
+  t.result = bench::run_testbed(/*senders=*/8, packet, span, burst);
+  const auto t1 = std::chrono::steady_clock::now();
+  t.wall_ms =
+      std::chrono::duration<double, std::milli>(t1 - t0).count();
+  return t;
+}
+
+void report(const char* mode, const Timed& t, bench::JsonBench& json,
+            bool burst) {
+  const double wall_s = t.wall_ms / 1000.0;
+  const double events_per_s =
+      wall_s > 0 ? static_cast<double>(t.result.events_dispatched) / wall_s : 0;
+  const double bytes_per_s =
+      wall_s > 0 ? static_cast<double>(t.result.bytes_on_wire) / wall_s : 0;
+  std::printf("%s,%.1f,%lld,%.3g,%lld,%.3g,%lld,%.1f\n", mode, t.wall_ms,
+              static_cast<long long>(t.result.events_dispatched), events_per_s,
+              static_cast<long long>(t.result.bytes_on_wire), bytes_per_s,
+              static_cast<long long>(t.result.event_queue_peak),
+              t.result.throughput_mbps);
+  std::fflush(stdout);
+  json.add_row({{"burst", burst ? 1.0 : 0.0},
+                {"wall_ms", t.wall_ms},
+                {"events", static_cast<double>(t.result.events_dispatched)},
+                {"events_per_sec", events_per_s},
+                {"sim_bytes", static_cast<double>(t.result.bytes_on_wire)},
+                {"sim_bytes_per_wall_sec", bytes_per_s},
+                {"event_queue_peak",
+                 static_cast<double>(t.result.event_queue_peak)},
+                {"throughput_mbps", t.result.throughput_mbps}});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+  const Time span = quick ? 600'000 : 3'000'000;
+  const std::int64_t packet = 8 * 1024;
+
+  std::printf("# Simulation hot path: fig12-scale all-send run (8 hosts, "
+              "%lld-byte packets, %lld byte-times)\n",
+              static_cast<long long>(packet), static_cast<long long>(span));
+  bench::print_header("mode", {"wall_ms", "events", "events_per_sec",
+                               "sim_bytes", "sim_bytes_per_wall_sec",
+                               "event_queue_peak", "throughput_mbps"});
+  bench::JsonBench json("sim_hotpath");
+
+  const Timed burst = timed_run(packet, span, /*burst=*/true);
+  report("burst", burst, json, true);
+  const Timed per_byte = timed_run(packet, span, /*burst=*/false);
+  report("per_byte", per_byte, json, false);
+
+  const double speedup =
+      burst.wall_ms > 0 ? per_byte.wall_ms / burst.wall_ms : 0.0;
+  const double event_ratio =
+      burst.result.events_dispatched > 0
+          ? static_cast<double>(per_byte.result.events_dispatched) /
+                static_cast<double>(burst.result.events_dispatched)
+          : 0.0;
+  std::printf("# burst speedup: %.2fx wall clock, %.2fx fewer events\n",
+              speedup, event_ratio);
+  if (burst.result.throughput_mbps != per_byte.result.throughput_mbps)
+    std::printf("# WARNING: modes disagree on throughput — burst bug!\n");
+  json.add_row({{"speedup_wall", speedup}, {"event_ratio", event_ratio}});
+  json.write();
+  return 0;
+}

@@ -25,6 +25,7 @@ namespace wormcast {
 /// plans that cut through (forward while receiving).
 struct RxProgress {
   std::int64_t payload_total = 0;
+  /// Payload bytes physically delivered (a burst lands all at once).
   std::int64_t payload_received = 0;
   bool complete = false;
   bool dropped = false;
@@ -33,6 +34,18 @@ struct RxProgress {
   /// reception); cut-through transmit plans following this reception close
   /// out early so the stub propagates instead of wedging the channel.
   bool truncated = false;
+  /// Logical arrival time of the newest delivered byte (a burst delivered
+  /// at t carries arrival times t..t+n-1).
+  Time run_end = 0;
+
+  /// Payload bytes *logically* arrived by `now` — what per-byte stepping
+  /// would have delivered. Pending bytes are always the newest of the
+  /// stream, and payload follows the header, so subtracting the pending
+  /// count from the physical payload count is exact.
+  [[nodiscard]] std::int64_t payload_arrived(Time now) const {
+    const Time pending = std::max<Time>(0, run_end - now);
+    return std::max<std::int64_t>(0, payload_received - pending);
+  }
 };
 
 enum class RxDecision : std::uint8_t { kAccept, kDrop };
@@ -141,10 +154,15 @@ class HostAdapter final : public ByteFeed, public RxSink {
   [[nodiscard]] bool byte_available() const override;
   TxByte take_byte() override;
   void on_tail_sent() override;
+  [[nodiscard]] std::int64_t burst_available() const override;
+  std::int64_t take_bytes(std::int64_t max) override;
+  [[nodiscard]] Time next_byte_time() const override;
 
   // RxSink (receive side; called by the host's downlink channel).
   void on_head(const WormPtr& worm, std::int64_t wire_len) override;
   void on_body(bool tail) override;
+  [[nodiscard]] std::int64_t rx_burst_budget() const override;
+  void on_body_burst(std::int64_t n, bool tail) override;
 
  private:
   struct TxPlan {
@@ -158,7 +176,14 @@ class HostAdapter final : public ByteFeed, public RxSink {
   void start_next();
   [[nodiscard]] bool done_is_switch_mcast() const;
   [[nodiscard]] const TxPlan* active_plan() const;
+  /// Bytes of the plan sendable by now under per-byte semantics (a
+  /// cut-through follow only exposes logically-arrived payload).
   [[nodiscard]] std::int64_t sendable_bytes(const TxPlan& plan) const;
+  /// Bytes sendable counting physically-buffered payload too — the burst
+  /// commitment bound (pending bytes arrive one per byte-time, matching
+  /// the send rate, so they are committable once one byte has arrived).
+  [[nodiscard]] std::int64_t sendable_bytes_physical(const TxPlan& plan) const;
+  [[nodiscard]] bool follow_closed(const TxPlan& plan) const;
 
   Simulator& sim_;
   Channel& tx_channel_;

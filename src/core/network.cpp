@@ -173,11 +173,13 @@ void Network::run(Time warmup, Time measure, Time drain_cap) {
   metrics_.set_window_start(warmup);
   measure_span_ = measure;
   traffic_->start(warmup + measure);
-  sim_.at(warmup,
-          [this] { egress_at_window_start_ = fabric_->host_egress_bytes(); });
-  sim_.at(warmup + measure,
-          [this] { egress_at_window_end_ = fabric_->host_egress_bytes(); });
+  // Window edges are read between run_until() calls, after every event of
+  // the edge tick has fired: mid-tick reads would depend on how events
+  // interleave within the tick, which the burst fast path changes.
+  sim_.run_until(warmup);
+  egress_at_window_start_ = fabric_->host_egress_bytes();
   sim_.run_until(warmup + measure);
+  egress_at_window_end_ = fabric_->host_egress_bytes();
   // Drain: let in-flight messages finish so tail latencies are recorded,
   // bounded so saturated runs terminate.
   const Time drain_deadline = warmup + measure + drain_cap;
@@ -211,6 +213,7 @@ Network::Summary Network::summary() const {
   s.oldest_outstanding_age = metrics_.oldest_outstanding_age(sim_.now());
   s.fabric_overflows = fabric_->total_overflows();
   s.faults_injected = faults_->total_injected();
+  s.bytes_swallowed = fabric_->total_bytes_swallowed();
   s.ack_timeouts = metrics_.ack_timeouts();
   s.duplicates_suppressed = metrics_.duplicates_suppressed();
   s.deliveries_failed = metrics_.deliveries_failed();

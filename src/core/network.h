@@ -150,6 +150,8 @@ class Network {
     std::int64_t fabric_overflows = 0;     // must be 0
     // Fault-injection experiments.
     std::int64_t faults_injected = 0;      // kills + ctrl/rx drops + outages
+    std::int64_t bytes_swallowed = 0;      // channel bytes lost to faults
+                                           // (never counted as delivered)
     std::int64_t ack_timeouts = 0;
     std::int64_t duplicates_suppressed = 0;
     std::int64_t deliveries_failed = 0;    // sends abandoned (max_attempts)

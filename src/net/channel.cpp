@@ -1,5 +1,6 @@
 #include "net/channel.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace wormcast {
@@ -21,21 +22,62 @@ void Channel::kick() {
 }
 
 void Channel::schedule_pump() {
-  // Respect the one-byte-per-byte-time line rate.
+  // Respect the one-byte-per-byte-time line rate. After a burst committed
+  // through last_send_, the next pump lands right after the run.
   const Time when = std::max(sim_.now(), last_send_ + 1);
   pump_scheduled_ = true;
-  sim_.at(when, [this] { pump(); });
+  // Late class: a pump scheduled a whole burst ahead must still run after
+  // the same-tick deliveries and protocol events, exactly like a per-byte
+  // pump scheduled one byte-time ahead would.
+  sim_.at_late(when, [this] { pump(); });
+}
+
+std::int64_t Channel::bytes_sent() const {
+  // A burst committed at t counts its bytes at logical times t..t+n-1;
+  // subtract the not-yet-logically-sent tail so mid-run reads (the
+  // utilization window edges) match per-byte stepping exactly.
+  const Time pending = std::max<Time>(0, last_send_ - sim_.now());
+  return bytes_sent_ - (last_run_swallowed_ ? 0 : pending);
+}
+
+std::int64_t Channel::bytes_swallowed() const {
+  const Time pending = std::max<Time>(0, last_send_ - sim_.now());
+  return bytes_swallowed_ - (last_run_swallowed_ ? pending : 0);
 }
 
 void Channel::pump() {
   pump_scheduled_ = false;
   if (feed_ == nullptr || stopped_) return;
-  if (!feed_->byte_available()) return;  // feed will kick() when ready
+  if (last_send_ >= sim_.now()) {
+    // This tick is already claimed (a burst's logical run extends through
+    // last_send_, or a byte went out this tick): hold the line rate and
+    // resume right after the run.
+    if (!pump_scheduled_) schedule_pump();
+    return;
+  }
+  if (!feed_->byte_available()) {
+    // Starved either for a kick (feed will call kick() when ready) or only
+    // by bytes that have not logically arrived yet — in the latter case no
+    // kick will ever come, so self-schedule at the next logical arrival.
+    const Time next = feed_->next_byte_time();
+    if (next != kTimeNever) {
+      pump_scheduled_ = true;
+      sim_.at_late(std::max(next, last_send_ + 1), [this] { pump(); });
+    }
+    return;
+  }
 
-  const TxByte b = feed_->take_byte();
+  if (burst_ && try_burst()) return;
+
+  // Claim this tick before calling into the feed: take_byte() can free
+  // slack-buffer space and re-entrantly kick() this channel, and that kick
+  // must see last_send_ current so it schedules the next tick, not this one.
   last_send_ = sim_.now();
-  ++bytes_sent_;
-  if (b.head && faults_ != nullptr && faults_->armed()) classify_fault(b);
+  const TxByte b = feed_->take_byte();
+  if (b.head) {
+    burst_ok_ = b.worm == nullptr || b.worm->kind != WormKind::kSwitchMcast;
+    if (faults_ != nullptr && faults_->armed()) classify_fault(b);
+  }
 
   bool deliver = true;
   bool synth_tail = false;
@@ -55,12 +97,17 @@ void Channel::pump() {
       break;
   }
   if (deliver) {
+    ++bytes_sent_;
+    last_run_swallowed_ = false;
     in_flight_.push_back(
-        InFlight{b.head, b.tail || synth_tail, b.worm, b.wire_len});
+        InFlight{b.head, b.tail || synth_tail, b.worm, b.wire_len, 1});
+    ++in_flight_bytes_;
     sim_.after(delay_, [this] { deliver_front(); });
   } else {
     // Swallowed bytes still count as global progress: the transmitter is
     // draining, so the network is not deadlocked, merely lossy.
+    ++bytes_swallowed_;
+    last_run_swallowed_ = true;
     sim_.note_progress(1);
   }
 
@@ -69,9 +116,48 @@ void Channel::pump() {
     ByteFeed* done = feed_;
     feed_ = nullptr;
     done->on_tail_sent();  // may attach a new feed (re-entrant safe)
-  } else {
+  } else if (!pump_scheduled_) {  // a re-entrant kick may have scheduled
     schedule_pump();
   }
+}
+
+bool Channel::try_burst() {
+  // A burst may cover only plain body bytes of an already-classified worm:
+  // burst_available() excludes heads and tails by contract, and the fault
+  // mode was fixed when this worm's head went through per-byte.
+  if (!burst_ok_) return false;
+  std::int64_t cap = feed_->burst_available();
+  if (cap <= 1) return false;
+  if (fault_mode_ == FaultMode::kTruncate) {
+    // The synthesized-tail byte (and everything after it) steps per-byte.
+    cap = std::min(cap, fault_pass_left_ - 1);
+    if (cap <= 1) return false;
+  }
+  if (fault_mode_ != FaultMode::kSwallow) {
+    // Flow-control safety: never let (in flight + this burst) reach the
+    // receiver's STOP decision point, so no STOP/GO signal can move.
+    cap = std::min(cap, sink_->rx_burst_budget() - in_flight_bytes_);
+    if (cap <= 1) return false;
+  }
+
+  last_send_ = sim_.now();  // claim the tick across the re-entrant window
+  const std::int64_t n = feed_->take_bytes(cap);
+  assert(n >= 1 && n <= cap);
+  last_send_ = sim_.now() + n - 1;  // logical sends at now .. now+n-1
+  if (fault_mode_ == FaultMode::kSwallow) {
+    bytes_swallowed_ += n;
+    last_run_swallowed_ = true;
+    sim_.note_progress(n);
+  } else {
+    if (fault_mode_ == FaultMode::kTruncate) fault_pass_left_ -= n;
+    bytes_sent_ += n;
+    last_run_swallowed_ = false;
+    in_flight_.push_back(InFlight{false, false, nullptr, 0, n});
+    in_flight_bytes_ += n;
+    sim_.after(delay_, [this] { deliver_front(); });
+  }
+  if (!pump_scheduled_) schedule_pump();
+  return true;
 }
 
 void Channel::classify_fault(const TxByte& b) {
@@ -84,7 +170,8 @@ void Channel::classify_fault(const TxByte& b) {
   }
   if (w->kind == WormKind::kAck || w->kind == WormKind::kNack ||
       w->kind == WormKind::kProbe || w->kind == WormKind::kProbeAck) {
-    if (faults_->should_drop_control()) fault_mode_ = FaultMode::kSwallow;
+    if (faults_->should_drop_control(w->id, sim_.now()))
+      fault_mode_ = FaultMode::kSwallow;
     return;
   }
   // Only plain data worms are eligible for mid-flight kills: switch-level
@@ -95,24 +182,32 @@ void Channel::classify_fault(const TxByte& b) {
   if (w->truncated) return;  // already killed upstream
   // A truncated stub must stay frameable: each remaining switch strips one
   // route byte and the final adapter still needs a head and a tail byte.
-  const auto remaining_hops =
-      static_cast<std::int64_t>(w->route.size() - w->route_offset);
+  // Subtract in signed space: an offset past the route end must fail loudly,
+  // not wrap to a huge hop count.
+  const std::int64_t remaining_hops =
+      static_cast<std::int64_t>(w->route.size()) -
+      static_cast<std::int64_t>(w->route_offset);
+  assert(remaining_hops >= 0 && "route offset past end of route");
   const std::int64_t min_len = remaining_hops + 2;
   if (b.wire_len - 1 < min_len) return;  // too short to kill cleanly
-  if (!faults_->should_kill_worm(w->dst)) return;
+  if (!faults_->should_kill_worm(w->dst, w->id, sim_.now())) return;
   w->truncated = true;
   fault_mode_ = FaultMode::kTruncate;
-  fault_pass_left_ = faults_->pick_truncation(min_len, b.wire_len - 1);
+  fault_pass_left_ =
+      faults_->pick_truncation(min_len, b.wire_len - 1, w->id, sim_.now());
 }
 
 void Channel::deliver_front() {
   assert(!in_flight_.empty());
   const InFlight b = std::move(in_flight_.front());
   in_flight_.pop_front();
-  sim_.note_progress(1);
+  in_flight_bytes_ -= b.count;
+  sim_.note_progress(b.count);
   assert(sink_ != nullptr && "channel delivered into the void");
   if (b.head)
     sink_->on_head(b.worm, b.wire_len);
+  else if (b.count > 1)
+    sink_->on_body_burst(b.count, /*tail=*/false);
   else
     sink_->on_body(b.tail);
 }

@@ -8,6 +8,19 @@
 // symbols (Figure 1) travel against the data flow with the same propagation
 // delay; they are modeled out of band (Myrinet interleaves them in the byte
 // stream; the bandwidth cost is negligible).
+//
+// Burst mode (the simulation hot path): when the transmitter is un-STOPped,
+// the worm's fault classification is already decided, and the receiver's
+// slack buffer provably cannot cross a STOP/GO threshold, the channel moves
+// a whole run of contiguous body bytes in ONE pump event and ONE delivery
+// event instead of one pair per byte. A burst taken at time t stands for
+// per-byte transmissions at t, t+1, ..., t+n-1; the delivery carries the
+// same logical arrival times, and every consumer is rate-limited to one
+// byte per byte-time starting at the first arrival, so nothing downstream
+// can observe the difference — results are bit-for-bit identical to
+// per-byte stepping (the determinism-equivalence suite pins this). Head
+// bytes, tail bytes, STOP/GO transitions, and truncation boundaries always
+// step per-byte.
 #pragma once
 
 #include <cstdint>
@@ -41,6 +54,29 @@ class ByteFeed {
   /// Called by the channel after the feed's tail byte has been accepted;
   /// the feed is detached before this call (safe to re-attach a new feed).
   virtual void on_tail_sent() = 0;
+
+  // --- burst extensions (default: per-byte only) -----------------------------
+
+  /// Upper bound on plain body bytes (no head, no tail) the feed can commit
+  /// to consecutive sends at now, now+1, ... — bytes it *guarantees* will be
+  /// available at those logical times even if some have not logically
+  /// arrived yet (contiguous runs arrive at exactly one byte per byte-time,
+  /// so one arrived byte plus a physically buffered run is committable in
+  /// full). 0 means step per-byte.
+  [[nodiscard]] virtual std::int64_t burst_available() const { return 0; }
+
+  /// Takes up to `max` plain body bytes at once (1 <= result <= max).
+  /// Called only when burst_available() > 0 with max <= burst_available().
+  virtual std::int64_t take_bytes(std::int64_t max) {
+    (void)max;
+    return 0;  // feeds that never advertise a burst are never asked
+  }
+
+  /// When byte_available() is false *only because* physically buffered
+  /// bytes have not logically arrived yet, the time at which the next one
+  /// does (the channel self-schedules a pump there — no kick will come).
+  /// kTimeNever when a kick will announce the next byte instead.
+  [[nodiscard]] virtual Time next_byte_time() const { return kTimeNever; }
 };
 
 /// Consumes bytes at a Channel's receiver. Implemented by switch input
@@ -53,6 +89,23 @@ class RxSink {
   virtual void on_head(const WormPtr& worm, std::int64_t wire_len) = 0;
   /// Every subsequent byte; `tail` marks the last one.
   virtual void on_body(bool tail) = 0;
+
+  // --- burst extensions (default: per-byte only) -----------------------------
+
+  /// How many more bytes the sink can absorb — beyond everything already
+  /// in flight toward it — without any possibility of a STOP/GO transition.
+  /// The channel never lets (in-flight + burst) exceed this, so a burst
+  /// delivery can never move a flow-control signal. 0 disables bursts.
+  [[nodiscard]] virtual std::int64_t rx_burst_budget() const { return 0; }
+
+  /// `n` body bytes delivered in one event: the first arrives now, the rest
+  /// at logical times now+1 .. now+n-1 (the sink's availability accounting
+  /// must respect that). The channel always delivers tails per-byte, so
+  /// `tail` is false today; the parameter keeps the signature future-proof.
+  virtual void on_body_burst(std::int64_t n, bool tail) {
+    for (std::int64_t i = 1; i < n; ++i) on_body(false);
+    on_body(tail);
+  }
 };
 
 /// A directed byte pipe with propagation delay and STOP/GO backpressure.
@@ -87,21 +140,35 @@ class Channel {
   /// as if a real link had corrupted the worm downstream of it.
   void set_fault_injector(FaultInjector* faults) { faults_ = faults; }
 
+  /// Enables/disables the burst fast path (results are identical either
+  /// way; per-byte mode exists for the equivalence suite and debugging).
+  void set_burst_enabled(bool on) { burst_ = on; }
+  [[nodiscard]] bool burst_enabled() const { return burst_; }
+
   /// Receiver-side flow control: schedule a STOP (GO) to take effect at the
   /// transmitter after the propagation delay.
   void signal_stop();
   void signal_go();
   [[nodiscard]] bool tx_stopped() const { return stopped_; }
 
-  /// Total payload-carrying bytes ever sent (link utilization accounting).
-  [[nodiscard]] std::int64_t bytes_sent() const { return bytes_sent_; }
+  /// Bytes *delivered* to the receiver by now (link utilization
+  /// accounting). Bytes a fault swallowed do not count — a dead link must
+  /// not inflate measured utilization; see bytes_swallowed(). A burst
+  /// committed at t counts one byte per logical send time, so reading this
+  /// mid-burst matches per-byte stepping exactly.
+  [[nodiscard]] std::int64_t bytes_sent() const;
+
+  /// Bytes swallowed by faults (link outages, control drops, the cut
+  /// portion of truncated worms) instead of delivered.
+  [[nodiscard]] std::int64_t bytes_swallowed() const;
 
  private:
   struct InFlight {
     bool head = false;
     bool tail = false;
-    WormPtr worm;             // head only
+    WormPtr worm;               // head only
     std::int64_t wire_len = 0;  // head only
+    std::int64_t count = 1;     // >1: a burst of plain body bytes
   };
 
   /// Per-worm fault classification, decided at the head byte.
@@ -113,6 +180,7 @@ class Channel {
 
   void pump();
   void schedule_pump();
+  bool try_burst();
   void deliver_front();
   void classify_fault(const TxByte& b);
 
@@ -122,12 +190,25 @@ class Channel {
   RxSink* sink_ = nullptr;
   FaultInjector* faults_ = nullptr;
   bool stopped_ = false;
+  bool burst_ = true;
   bool pump_scheduled_ = false;
+  /// Logical send time of the newest committed byte; a burst at t commits
+  /// sends through t+n-1, so this can sit in the future.
   Time last_send_ = -1;
   std::int64_t bytes_sent_ = 0;
+  std::int64_t bytes_swallowed_ = 0;
+  /// True when the newest committed run was swallowed (tells bytes_sent /
+  /// bytes_swallowed which counter the not-yet-logically-sent tail of the
+  /// run belongs to).
+  bool last_run_swallowed_ = false;
+  std::int64_t in_flight_bytes_ = 0;  // delivered-but-not-landed bytes
   std::deque<InFlight> in_flight_;
   FaultMode fault_mode_ = FaultMode::kNone;
   std::int64_t fault_pass_left_ = 0;  // kTruncate: bytes still delivered
+  /// Set at the head byte: bursts are legal for this worm (switch-level
+  /// multicast worms always step per-byte — the replication engine paces
+  /// branches byte-by-byte).
+  bool burst_ok_ = false;
 };
 
 }  // namespace wormcast

@@ -15,6 +15,7 @@ Fabric::Fabric(Simulator& sim, const Topology& topo, FabricConfig config)
     channels_.push_back(std::make_unique<Channel>(sim_, d));  // a -> b
     channels_.push_back(std::make_unique<Channel>(sim_, d));  // b -> a
   }
+  for (auto& ch : channels_) ch->set_burst_enabled(config_.burst_channels);
   switches_.resize(static_cast<std::size_t>(topo_.num_nodes()));
   for (NodeId n = 0; n < topo_.num_nodes(); ++n) {
     const TopoNode& node = topo_.node(n);
@@ -87,6 +88,12 @@ std::int64_t Fabric::host_egress_bytes() const {
 std::int64_t Fabric::fabric_bytes_sent() const {
   std::int64_t total = 0;
   for (const auto& ch : channels_) total += ch->bytes_sent();
+  return total;
+}
+
+std::int64_t Fabric::total_bytes_swallowed() const {
+  std::int64_t total = 0;
+  for (const auto& ch : channels_) total += ch->bytes_swallowed();
   return total;
 }
 

@@ -14,6 +14,9 @@ namespace wormcast {
 
 struct FabricConfig {
   SwitchConfig sw;
+  /// Burst-mode channel hot path (bit-for-bit identical results; per-byte
+  /// mode exists for the determinism-equivalence suite and debugging).
+  bool burst_channels = true;
 };
 
 /// Owns every channel and switch of the network. Host adapters plug into
@@ -57,6 +60,11 @@ class Fabric {
   /// "offered load" axis is this per host per byte-time (output-link
   /// utilization, which includes forwarded multicast copies).
   [[nodiscard]] std::int64_t host_egress_bytes() const;
+
+  /// Total bytes swallowed by injected faults across all channels (link
+  /// outages, control drops, the cut portion of truncated worms). Kept
+  /// separate from bytes_sent so utilization never counts lost bytes.
+  [[nodiscard]] std::int64_t total_bytes_swallowed() const;
 
  private:
   Simulator& sim_;

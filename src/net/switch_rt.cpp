@@ -1,5 +1,6 @@
 #include "net/switch_rt.h"
 
+#include <iterator>
 #include <cassert>
 #include <stdexcept>
 
@@ -13,6 +14,7 @@ InPort::InPort(SwitchRt& sw, PortId port) : sw_(sw), port_(port) {}
 void InPort::on_head(const WormPtr& worm, std::int64_t wire_len) {
   assert(wire_len >= 2 && "worm must carry at least payload + trailer");
   rx_queue_.push_back(RxWorm{worm, wire_len, 1, false});
+  rx_queue_.back().run_end = sw_.sim().now();
   ++buffered_;
   if (buffered_ > sw_.slack_capacity(port_)) sw_.note_overflow();
   check_stop();
@@ -23,6 +25,7 @@ void InPort::on_body(bool tail) {
   assert(!rx_queue_.empty());
   RxWorm& rx = rx_queue_.back();
   ++rx.received;
+  rx.run_end = sw_.sim().now();
   if (tail) rx.tail_seen = true;
   if (rx.discard) {
     // Flushed worm: swallow the byte. When fully drained and it is still
@@ -84,7 +87,77 @@ bool InPort::byte_available() const {
 
 std::int64_t InPort::front_available() const {
   const RxWorm& front = rx_queue_.front();
-  return (front.received - 1) - forwarded_;
+  const Time pending = std::max<Time>(0, front.run_end - sw_.sim().now());
+  return (front.received - pending - 1) - forwarded_;
+}
+
+std::int64_t InPort::rx_burst_budget() const {
+  // Bytes this slack buffer can absorb without the STOP threshold becoming
+  // reachable even in per-byte stepping (whose transient peak during a
+  // matched arrive/drain run is one byte above the committed total).
+  if (stop_sent_) return 0;
+  return std::max<std::int64_t>(0, sw_.config().stop_threshold - 1 - buffered_);
+}
+
+void InPort::on_body_burst(std::int64_t n, bool tail) {
+  assert(n >= 2 && !tail && "tails are always delivered per-byte");
+  assert(!rx_queue_.empty());
+  RxWorm& rx = rx_queue_.back();
+  rx.received += n;
+  rx.run_end = sw_.sim().now() + n - 1;
+  if (rx.discard) return;  // flushed worm: the per-byte tail retires it
+  buffered_ += n;
+  if (buffered_ > sw_.slack_capacity(port_)) sw_.note_overflow();
+  check_stop();
+  if (connected_ && &rx == &rx_queue_.front()) {
+    sw_.out_port(out_port_).channel->kick();
+  } else if (mcast_active_ && &rx == &rx_queue_.front()) {
+    sw_.mcast_engine()->on_input_bytes(*this);
+  }
+}
+
+std::int64_t InPort::burst_available() const {
+  if (!connected_ || rx_queue_.empty() || forwarded_ < 1) return 0;
+  if (front_available() < 1) return 0;  // need one logically-arrived byte
+  const RxWorm& front = rx_queue_.front();
+  // All physically buffered bytes of the front worm are committable once one
+  // has logically arrived: pending bytes arrive exactly one per byte-time,
+  // matching the send rate. The tail byte always steps per-byte.
+  std::int64_t n = (front.received - 1) - forwarded_;
+  if (front.tail_seen) --n;
+  // Drain-side flow-control guards: the run must neither cross the GO
+  // threshold (when stopped upstream) nor let per-byte stepping's transient
+  // peak reach STOP (when not stopped) — otherwise a signal would fire
+  // mid-run in one mode but not the other.
+  if (stop_sent_) {
+    n = std::min(n, buffered_ - sw_.config().go_threshold - 1);
+  } else if (buffered_ > sw_.config().stop_threshold - 2) {
+    return 0;
+  }
+  return std::max<std::int64_t>(0, n);
+}
+
+std::int64_t InPort::take_bytes(std::int64_t max) {
+  const std::int64_t n = std::min(max, burst_available());
+  assert(n >= 1);
+  forwarded_ += n;
+  buffered_ -= n;
+  after_byte_removed();
+  // The run's newest byte leaves at now + n - 1 (multicast-IDLE detection
+  // compares against "last activity", so a future stamp is conservative
+  // and exact once the run completes).
+  sw_.out_port(out_port_).last_data_byte = sw_.sim().now() + n - 1;
+  return n;
+}
+
+Time InPort::next_byte_time() const {
+  if (!connected_ || rx_queue_.empty()) return kTimeNever;
+  const RxWorm& front = rx_queue_.front();
+  const std::int64_t physical = (front.received - 1) - forwarded_;
+  // Starved only by bytes that are buffered but not logically arrived: one
+  // becomes forwardable every byte-time, and no kick will announce it.
+  if (physical > 0 && front_available() <= 0) return sw_.sim().now() + 1;
+  return kTimeNever;
 }
 
 TxByte InPort::take_byte() {
@@ -195,17 +268,23 @@ RxSink* SwitchRt::sink(PortId p) { return in_ports_[p].get(); }
 
 void SwitchRt::request_output(InPort& in, PortId out) {
   OutPort& op = out_ports_[out];
-  if (!op.busy && !op.held_by_mcast) {
-    op.busy = true;
-    in.granted(out);
-    op.channel->attach_feed(&in);
-    return;
-  }
   if (op.held_by_mcast && mcast_engine_ != nullptr &&
       mcast_engine_->maybe_flush_unicast(*this, in, out)) {
     return;  // the unicast was flushed; nothing to queue
   }
+  in.request_time_ = sim_.now();
   op.waiters.push_back(&in);
+  if (!op.busy && !op.held_by_mcast) schedule_arbitration(out);
+}
+
+void SwitchRt::schedule_arbitration(PortId out) {
+  OutPort& op = out_ports_[out];
+  if (op.arb_pending) return;
+  op.arb_pending = true;
+  sim_.after(0, [this, out] {
+    out_ports_[out].arb_pending = false;
+    grant_next(out);
+  });
 }
 
 void SwitchRt::grant_next(PortId out) {
@@ -220,8 +299,18 @@ void SwitchRt::grant_next(PortId out) {
     return;
   }
   if (op.waiters.empty()) return;
-  InPort* next = op.waiters.front();
-  op.waiters.pop_front();
+  // Canonical winner: earliest request, in-port id breaking same-tick
+  // ties. Requests that raced within one tick resolve identically no
+  // matter which event happened to enqueue first.
+  auto best = op.waiters.begin();
+  for (auto it = std::next(best); it != op.waiters.end(); ++it) {
+    if ((*it)->request_time_ < (*best)->request_time_ ||
+        ((*it)->request_time_ == (*best)->request_time_ &&
+         (*it)->port() < (*best)->port()))
+      best = it;
+  }
+  InPort* next = *best;
+  op.waiters.erase(best);
   op.busy = true;
   next->granted(out);
   op.channel->attach_feed(next);
@@ -231,7 +320,9 @@ void SwitchRt::release_output(PortId out) {
   OutPort& op = out_ports_[out];
   assert(op.busy);
   op.busy = false;
-  grant_next(out);
+  // Deferred like requests: a release and a request landing on the same
+  // tick must resolve the same way regardless of which event ran first.
+  schedule_arbitration(out);
 }
 
 bool SwitchRt::claim_output_for_mcast(PortId out, std::function<void()> on_free) {
@@ -248,7 +339,7 @@ void SwitchRt::release_mcast_output(PortId out) {
   OutPort& op = out_ports_[out];
   assert(op.held_by_mcast);
   op.held_by_mcast = false;
-  grant_next(out);
+  schedule_arbitration(out);
 }
 
 bool SwitchRt::cancel_request(InPort& in, PortId out) {

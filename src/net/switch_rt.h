@@ -42,18 +42,26 @@ class InPort final : public RxSink, public ByteFeed {
   // RxSink — bytes arriving from the upstream channel.
   void on_head(const WormPtr& worm, std::int64_t wire_len) override;
   void on_body(bool tail) override;
+  [[nodiscard]] std::int64_t rx_burst_budget() const override;
+  void on_body_burst(std::int64_t n, bool tail) override;
 
   // ByteFeed — bytes leaving through the connected output channel.
   [[nodiscard]] bool byte_available() const override;
   TxByte take_byte() override;
   void on_tail_sent() override;
+  [[nodiscard]] std::int64_t burst_available() const override;
+  std::int64_t take_bytes(std::int64_t max) override;
+  [[nodiscard]] Time next_byte_time() const override;
 
   [[nodiscard]] PortId port() const { return port_; }
   [[nodiscard]] std::int64_t buffered() const { return buffered_; }
   [[nodiscard]] bool stop_sent() const { return stop_sent_; }
   /// Worms queued in this port (front one may be mid-forward).
   [[nodiscard]] std::size_t worms_pending() const { return rx_queue_.size(); }
-  /// Bytes of the front worm available to forward right now.
+  /// Bytes of the front worm available to forward right now. Burst-delivered
+  /// bytes whose logical arrival time is still in the future do not count
+  /// (they become forwardable one per byte-time, exactly as if the upstream
+  /// channel had stepped per-byte).
   [[nodiscard]] std::int64_t front_available() const;
   [[nodiscard]] const WormPtr& front_worm() const { return rx_queue_.front().worm; }
 
@@ -91,10 +99,14 @@ class InPort final : public RxSink, public ByteFeed {
   struct RxWorm {
     WormPtr worm;
     std::int64_t wire_len = 0;  // declared length (advisory for fragments)
-    std::int64_t received = 0;  // bytes arrived so far (head included)
+    std::int64_t received = 0;  // bytes physically delivered (head included)
     bool routed = false;        // routing decision issued
     bool tail_seen = false;     // tail symbol arrived (authoritative framing)
     bool discard = false;       // flushed: swallow remaining bytes
+    /// Logical arrival time of the newest byte: a burst delivered at t
+    /// carries arrival times t..t+n-1, so bytes with arrival > now have
+    /// not "happened" yet for forwarding purposes.
+    Time run_end = 0;
   };
 
   void begin_routing();
@@ -112,6 +124,9 @@ class InPort final : public RxSink, public ByteFeed {
   bool connected_ = false;
   PortId out_port_ = kNoPort;
   std::int64_t forwarded_ = 0;  // bytes sent downstream for the front worm
+  // When the pending output request was issued (arbitration key).
+  friend class SwitchRt;
+  Time request_time_ = 0;
   // True while the front worm is owned by the switch-level multicast engine.
   bool mcast_active_ = false;
 };
@@ -121,6 +136,8 @@ struct OutPort {
   Channel* channel = nullptr;
   bool busy = false;
   std::deque<InPort*> waiters;
+  /// True while a same-tick arbitration event is scheduled for this port.
+  bool arb_pending = false;
   /// Set while a switch-level multicast branch holds this port.
   bool held_by_mcast = false;
   /// Multicast branches waiting for the port; served before unicast
@@ -145,7 +162,12 @@ class SwitchRt {
   /// Input port p as a receiver sink (for Fabric wiring).
   [[nodiscard]] RxSink* sink(PortId p);
 
-  /// Requests `out` for `in`; grants immediately if free, else queues.
+  /// Requests `out` for `in`. The request is queued and resolved by an
+  /// end-of-tick arbitration pass: same-tick requests are granted in a
+  /// canonical (request time, in-port id) order rather than in event
+  /// order, so results do not depend on how events interleave within a
+  /// tick (the burst-mode fast path coalesces events and would otherwise
+  /// perturb FIFO arrival order).
   void request_output(InPort& in, PortId out);
   /// Releases `out` and grants the next waiter, if any.
   void release_output(PortId out);
@@ -164,7 +186,8 @@ class SwitchRt {
   bool claim_output_for_mcast(PortId out, std::function<void()> on_free);
   /// Releases a port held by a multicast branch.
   void release_mcast_output(PortId out);
-  /// Hands a free port to the next waiter (multicast branches first).
+  /// Hands a free port to the next waiter (multicast branches first;
+  /// unicast waiters in canonical (request time, in-port id) order).
   void grant_next(PortId out);
 
   [[nodiscard]] Simulator& sim() { return sim_; }
@@ -187,6 +210,12 @@ class SwitchRt {
   [[nodiscard]] std::int64_t slack_capacity(PortId p) const;
 
  private:
+  /// Schedules a zero-delay arbitration event for `out` (coalesced: at
+  /// most one pending per port). Running arbitration after every event of
+  /// the current tick has fired makes grant decisions a function of the
+  /// request set, not of within-tick event order.
+  void schedule_arbitration(PortId out);
+
   Simulator& sim_;
   NodeId node_;
   SwitchConfig config_;

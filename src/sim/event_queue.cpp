@@ -1,51 +1,88 @@
 #include "sim/event_queue.h"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
 namespace wormcast {
 
-EventHandle EventQueue::schedule(Time when, Action action) {
-  const std::uint64_t seq = next_seq_++;
-  heap_.push(Entry{when, seq, std::move(action)});
-  pending_.insert(seq);
+namespace {
+// Typical experiments keep a few hundred in-flight events per host; one
+// up-front reservation avoids the incremental heap regrowth entirely.
+constexpr std::size_t kInitialCapacity = 1024;
+}  // namespace
+
+EventQueue::EventQueue() {
+  heap_.reserve(kInitialCapacity);
+  slots_.reserve(kInitialCapacity);
+  free_slots_.reserve(kInitialCapacity);
+}
+
+std::uint32_t EventQueue::acquire_slot() {
+  if (!free_slots_.empty()) {
+    const std::uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    slots_[slot].live = true;
+    return slot;
+  }
+  slots_.push_back(Slot{1, true});
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void EventQueue::retire_slot(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.live = false;
+  ++s.gen;  // invalidates every outstanding handle to this slot
+  free_slots_.push_back(slot);
+}
+
+EventHandle EventQueue::schedule(Time when, Action action, bool late) {
+  const std::uint32_t slot = acquire_slot();
+  const std::uint32_t gen = slots_[slot].gen;
+  heap_.push_back(Entry{when, next_seq_++, slot, gen, late, std::move(action)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
   ++live_count_;
-  return EventHandle{seq};
+  peak_size_ = std::max(peak_size_, heap_.size());
+  return EventHandle{slot, gen};
 }
 
 void EventQueue::cancel(EventHandle handle) {
-  if (!handle.valid()) return;
-  if (pending_.erase(handle.seq_) == 0) return;  // already fired or cancelled
-  cancelled_.insert(handle.seq_);
+  if (!handle.valid() || handle.slot_ >= slots_.size()) return;
+  Slot& s = slots_[handle.slot_];
+  if (!s.live || s.gen != handle.gen_) return;  // already fired or cancelled
+  retire_slot(handle.slot_);
   --live_count_;
+  ++cancelled_in_heap_;
+  if (!heap_.empty() && !entry_live(heap_.front())) drop_dead_head();
+  if (cancelled_in_heap_ * 2 > heap_.size()) compact();
 }
 
-void EventQueue::drop_cancelled_head() {
-  while (!heap_.empty()) {
-    const auto it = cancelled_.find(heap_.top().seq);
-    if (it == cancelled_.end()) return;
-    cancelled_.erase(it);
-    heap_.pop();
+void EventQueue::drop_dead_head() {
+  while (!heap_.empty() && !entry_live(heap_.front())) {
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    heap_.pop_back();
+    --cancelled_in_heap_;
   }
 }
 
-Time EventQueue::next_time() const {
-  // const_cast-free variant: scan past cancelled entries without mutating.
-  // We accept the tiny cost of letting pop() do the real cleanup.
-  auto* self = const_cast<EventQueue*>(this);
-  self->drop_cancelled_head();
-  return heap_.empty() ? kTimeNever : heap_.top().time;
+void EventQueue::compact() {
+  heap_.erase(std::remove_if(heap_.begin(), heap_.end(),
+                             [this](const Entry& e) { return !entry_live(e); }),
+              heap_.end());
+  std::make_heap(heap_.begin(), heap_.end(), Later{});
+  cancelled_in_heap_ = 0;
 }
 
 EventQueue::Popped EventQueue::pop() {
-  drop_cancelled_head();
-  assert(!heap_.empty() && "pop() on empty EventQueue");
-  // priority_queue::top() is const; move out via const_cast, then pop.
-  auto& top = const_cast<Entry&>(heap_.top());
-  Popped out{top.time, std::move(top.action)};
-  pending_.erase(top.seq);
-  heap_.pop();
+  assert(!heap_.empty() && entry_live(heap_.front()) &&
+         "pop() on empty EventQueue");
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Entry& back = heap_.back();
+  Popped out{back.time, std::move(back.action)};
+  retire_slot(back.slot);
+  heap_.pop_back();
   --live_count_;
+  drop_dead_head();  // restore the head-is-live invariant for next_time()
   return out;
 }
 

@@ -3,8 +3,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
 #include "sim/types.h"
@@ -13,28 +11,48 @@ namespace wormcast {
 
 /// Handle returned by EventQueue::schedule; can be used to cancel the event.
 /// Value-semantic and cheap to copy. A default-constructed handle is invalid.
+///
+/// Internally the handle names a reusable slot plus the generation the slot
+/// had when the event was scheduled; a stale handle (its event fired or was
+/// cancelled and the slot was reused) no longer matches the slot's current
+/// generation, so cancelling it is a guaranteed no-op.
 class EventHandle {
  public:
   EventHandle() = default;
-  [[nodiscard]] bool valid() const { return seq_ != 0; }
+  [[nodiscard]] bool valid() const { return slot_ != kNoSlot; }
 
  private:
   friend class EventQueue;
-  explicit EventHandle(std::uint64_t seq) : seq_(seq) {}
-  std::uint64_t seq_ = 0;
+  static constexpr std::uint32_t kNoSlot = 0xFFFFFFFFu;
+  EventHandle(std::uint32_t slot, std::uint32_t gen) : slot_(slot), gen_(gen) {}
+  std::uint32_t slot_ = kNoSlot;
+  std::uint32_t gen_ = 0;
 };
 
 /// Min-heap of timestamped callbacks. Events at equal times fire in
 /// insertion order, which makes runs fully deterministic.
 ///
-/// Cancellation is lazy: cancelled events stay in the heap but are skipped
-/// when popped. This keeps schedule O(log n) and cancel O(1) amortized.
+/// Cancellation is lazy: a cancelled event's slot is stamped dead in O(1)
+/// and the heap entry is skipped later — except when the cancelled entry is
+/// the current heap head, in which case it (and any dead entries it was
+/// shadowing) is removed immediately. That maintains the invariant that the
+/// heap head is always live, so next_time() is a pure read. When dead
+/// entries ever outnumber live ones the heap is compacted in one pass, so a
+/// workload that schedules and cancels millions of timers (ACK timeouts on
+/// a faulted run) holds O(live) memory, not O(ever scheduled).
 class EventQueue {
  public:
   using Action = std::function<void()>;
 
-  /// Schedules `action` at absolute time `when`.
-  EventHandle schedule(Time when, Action action);
+  EventQueue();
+
+  /// Schedules `action` at absolute time `when`. Events with `late` set
+  /// fire after every same-time normal event regardless of insertion
+  /// order; within a class, insertion order still breaks ties. Channel
+  /// pump self-schedules use the late class so that a pump scheduled far
+  /// ahead (the burst fast path) and one scheduled one byte-time ahead
+  /// (per-byte stepping) land at the same position in the tick.
+  EventHandle schedule(Time when, Action action, bool late = false);
 
   /// Cancels a previously scheduled event. Cancelling an already-fired or
   /// already-cancelled event is a harmless no-op.
@@ -43,8 +61,11 @@ class EventQueue {
   [[nodiscard]] bool empty() const { return live_count_ == 0; }
   [[nodiscard]] std::size_t size() const { return live_count_; }
 
-  /// Time of the earliest live event; kTimeNever when empty.
-  [[nodiscard]] Time next_time() const;
+  /// Time of the earliest live event; kTimeNever when empty. Pure read:
+  /// the head-is-live invariant means no cleanup is ever needed here.
+  [[nodiscard]] Time next_time() const {
+    return heap_.empty() ? kTimeNever : heap_.front().time;
+  }
 
   /// Removes and returns the earliest live event. Precondition: !empty().
   struct Popped {
@@ -53,25 +74,56 @@ class EventQueue {
   };
   Popped pop();
 
+  /// High-water mark of heap occupancy (live + lazily-cancelled entries);
+  /// the hot-path bench reports it as the queue's peak memory proxy.
+  [[nodiscard]] std::size_t peak_size() const { return peak_size_; }
+  /// Dead entries currently parked in the heap awaiting a skip/compaction.
+  [[nodiscard]] std::size_t cancelled_in_heap() const { return cancelled_in_heap_; }
+
  private:
   struct Entry {
     Time time = 0;
-    std::uint64_t seq = 0;
+    std::uint64_t seq = 0;   // insertion order; breaks (time, late) ties
+    std::uint32_t slot = 0;  // cancellation identity
+    std::uint32_t gen = 0;   // slot generation at schedule time
+    bool late = false;       // fires after same-time normal events
     Action action;
   };
+  /// std::push_heap/pop_heap build a max-heap w.r.t. this comparator, so
+  /// "later is greater" puts the earliest (time, late, seq) at the front.
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const {
-      return a.time != b.time ? a.time > b.time : a.seq > b.seq;
+      if (a.time != b.time) return a.time > b.time;
+      if (a.late != b.late) return a.late;
+      return a.seq > b.seq;
     }
   };
+  struct Slot {
+    std::uint32_t gen = 1;
+    bool live = false;
+  };
 
-  void drop_cancelled_head();
+  /// The generation check matters: a cancelled entry stays parked in the
+  /// heap while its slot may be reused by a newer event, and slot liveness
+  /// alone would make that stale entry look alive again.
+  [[nodiscard]] bool entry_live(const Entry& e) const {
+    const Slot& s = slots_[e.slot];
+    return s.live && s.gen == e.gen;
+  }
+  std::uint32_t acquire_slot();
+  void retire_slot(std::uint32_t slot);
+  /// Pops dead entries off the heap head until it is live (or empty).
+  void drop_dead_head();
+  /// Rebuilds the heap without its dead entries.
+  void compact();
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  std::unordered_set<std::uint64_t> cancelled_;
-  std::unordered_set<std::uint64_t> pending_;  // live (not yet fired) seqs
+  std::vector<Entry> heap_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
   std::size_t live_count_ = 0;
+  std::size_t cancelled_in_heap_ = 0;
   std::uint64_t next_seq_ = 1;
+  std::size_t peak_size_ = 0;
 };
 
 }  // namespace wormcast

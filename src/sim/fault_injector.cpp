@@ -18,7 +18,20 @@ void FaultInjector::rearm() {
            forced_ctrl_drops_ > 0 || forced_rx_drops_ > 0;
 }
 
-bool FaultInjector::should_kill_worm(HostId dst) {
+namespace {
+// Per-draw-type salts so the same (worm, time) key cannot correlate the
+// kill, truncation-length, control-drop, and rx-drop decisions.
+constexpr std::uint64_t kKillSalt = 0x4B114ull;
+constexpr std::uint64_t kTruncSalt = 0x72C47ull;
+constexpr std::uint64_t kCtrlSalt = 0xC7121ull;
+constexpr std::uint64_t kRxSalt = 0x52D20ull;
+
+std::uint64_t draw_key(std::uint64_t salt, WormId id, Time now) {
+  return salt ^ (id * 0x9e3779b97f4a7c15ULL) ^ static_cast<std::uint64_t>(now);
+}
+}  // namespace
+
+bool FaultInjector::should_kill_worm(HostId dst, WormId id, Time now) {
   for (auto it = forced_kills_.begin(); it != forced_kills_.end(); ++it) {
     if (it->dst != kNoHost && it->dst != dst) continue;
     forced_kills_.erase(it);
@@ -26,21 +39,25 @@ bool FaultInjector::should_kill_worm(HostId dst) {
     rearm();
     return true;
   }
-  if (config_.worm_kill_rate > 0.0 && rng_.chance(config_.worm_kill_rate)) {
+  if (config_.worm_kill_rate > 0.0 &&
+      rng_.keyed_chance(config_.worm_kill_rate, draw_key(kKillSalt, id, now),
+                        id, static_cast<std::uint64_t>(now))) {
     ++worms_killed_;
     return true;
   }
   return false;
 }
 
-bool FaultInjector::should_drop_control() {
+bool FaultInjector::should_drop_control(WormId id, Time now) {
   if (forced_ctrl_drops_ > 0) {
     --forced_ctrl_drops_;
     ++controls_dropped_;
     rearm();
     return true;
   }
-  if (config_.ctrl_loss_rate > 0.0 && rng_.chance(config_.ctrl_loss_rate)) {
+  if (config_.ctrl_loss_rate > 0.0 &&
+      rng_.keyed_chance(config_.ctrl_loss_rate, draw_key(kCtrlSalt, id, now),
+                        id, static_cast<std::uint64_t>(now))) {
     ++controls_dropped_;
     return true;
   }
@@ -48,19 +65,24 @@ bool FaultInjector::should_drop_control() {
 }
 
 std::int64_t FaultInjector::pick_truncation(std::int64_t min_len,
-                                            std::int64_t max_len) {
+                                            std::int64_t max_len, WormId id,
+                                            Time now) {
   assert(min_len >= 1 && min_len <= max_len);
-  return rng_.uniform(min_len, max_len);
+  return rng_.keyed_uniform(min_len, max_len, draw_key(kTruncSalt, id, now),
+                            id, static_cast<std::uint64_t>(now));
 }
 
-bool FaultInjector::should_drop_rx() {
+bool FaultInjector::should_drop_rx(WormId id, HostId host, Time now) {
   if (forced_rx_drops_ > 0) {
     --forced_rx_drops_;
     ++rx_dropped_;
     rearm();
     return true;
   }
-  if (config_.rx_drop_rate > 0.0 && rng_.chance(config_.rx_drop_rate)) {
+  if (config_.rx_drop_rate > 0.0 &&
+      rng_.keyed_chance(config_.rx_drop_rate, draw_key(kRxSalt, id, now),
+                        id ^ static_cast<std::uint64_t>(host),
+                        static_cast<std::uint64_t>(now))) {
     ++rx_dropped_;
     return true;
   }

@@ -63,23 +63,34 @@ class FaultInjector {
   [[nodiscard]] bool armed() const { return armed_; }
 
   // --- channel-side decisions (rolled at a worm's head byte) -----------------
+  //
+  // Probabilistic draws are *keyed*: each outcome is a pure function of the
+  // injector seed, the worm id, and the simulation time of the decision —
+  // never of the order the simulator interleaved same-time events. That
+  // keeps the fault sequence identical between the burst-mode and per-byte
+  // channel hot paths (which schedule different event counts and therefore
+  // break same-time ties differently). `now` at a head classification is
+  // unique per channel crossing and differs per retransmission attempt, so
+  // a killed worm is not doomed to be killed again. Forced faults are still
+  // consumed in call order, before any probability is rolled.
 
   /// Should the data worm currently entering a channel be truncated there?
   /// `dst` is the worm's hop destination (used to match forced kills).
-  bool should_kill_worm(HostId dst);
+  bool should_kill_worm(HostId dst, WormId id, Time now);
 
   /// Should the ACK/NACK currently entering a channel be swallowed?
-  bool should_drop_control();
+  bool should_drop_control(WormId id, Time now);
 
   /// How many bytes of a killed worm to let through before synthesizing the
   /// tail, uniform in [min_len, max_len] (the caller computes min_len so the
   /// stub stays frameable through the remaining switches).
-  std::int64_t pick_truncation(std::int64_t min_len, std::int64_t max_len);
+  std::int64_t pick_truncation(std::int64_t min_len, std::int64_t max_len,
+                               WormId id, Time now);
 
   // --- adapter-side decision -------------------------------------------------
 
   /// Should the adapter receive engine drop the worm whose head just arrived?
-  bool should_drop_rx();
+  bool should_drop_rx(WormId id, HostId host, Time now);
 
   // --- scheduled link outages ------------------------------------------------
 

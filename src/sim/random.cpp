@@ -43,4 +43,29 @@ bool RandomStream::chance(double p) {
   return dist(engine_);
 }
 
+std::uint64_t RandomStream::keyed_hash(std::uint64_t k1, std::uint64_t k2,
+                                       std::uint64_t k3) const {
+  // Three chained finalizer rounds; each key fully avalanches before the
+  // next mixes in, so (1, 0) and (0, 1) land far apart.
+  return seed_mix(seed_mix(seed_mix(seed_, k1), k2), k3);
+}
+
+bool RandomStream::keyed_chance(double p, std::uint64_t k1, std::uint64_t k2,
+                                std::uint64_t k3) const {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  // Top 53 bits as a uniform double in [0, 1).
+  const double u =
+      static_cast<double>(keyed_hash(k1, k2, k3) >> 11) * 0x1.0p-53;
+  return u < p;
+}
+
+std::int64_t RandomStream::keyed_uniform(std::int64_t lo, std::int64_t hi,
+                                         std::uint64_t k1, std::uint64_t k2,
+                                         std::uint64_t k3) const {
+  assert(lo <= hi);
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(keyed_hash(k1, k2, k3) % span);
+}
+
 }  // namespace wormcast

@@ -36,6 +36,20 @@ class RandomStream {
   /// True with probability p.
   bool chance(double p);
 
+  // Keyed (stateless) draws: deterministic in (stream seed, k1, k2, k3) and
+  // independent of call order. Hot-path consumers (the channel fault hooks)
+  // use these so that the *set* of events in a run — not the order the
+  // simulator happens to interleave same-time events — decides each outcome.
+
+  /// True with probability p; pure function of the seed and keys.
+  [[nodiscard]] bool keyed_chance(double p, std::uint64_t k1, std::uint64_t k2,
+                                  std::uint64_t k3 = 0) const;
+
+  /// Uniform integer in [lo, hi]; pure function of the seed and keys.
+  [[nodiscard]] std::int64_t keyed_uniform(std::int64_t lo, std::int64_t hi,
+                                           std::uint64_t k1, std::uint64_t k2,
+                                           std::uint64_t k3 = 0) const;
+
   /// Uniformly selects one element of `items` (must be non-empty).
   template <typename T>
   const T& pick(const std::vector<T>& items) {
@@ -57,6 +71,8 @@ class RandomStream {
 
  private:
   static std::uint64_t seed_mix(std::uint64_t a, std::uint64_t b);
+  [[nodiscard]] std::uint64_t keyed_hash(std::uint64_t k1, std::uint64_t k2,
+                                         std::uint64_t k3) const;
 
   std::mt19937_64 engine_;
   std::uint64_t seed_ = 0;

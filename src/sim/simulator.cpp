@@ -15,10 +15,16 @@ EventHandle Simulator::after(Time delay, EventQueue::Action action) {
   return queue_.schedule(now_ + delay, std::move(action));
 }
 
+EventHandle Simulator::at_late(Time when, EventQueue::Action action) {
+  assert(when >= now_ && "scheduling into the past");
+  return queue_.schedule(when, std::move(action), /*late=*/true);
+}
+
 void Simulator::dispatch_one() {
   auto [time, action] = queue_.pop();
   assert(time >= now_);
   now_ = time;
+  ++dispatched_;
   action();
 }
 

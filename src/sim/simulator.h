@@ -29,6 +29,12 @@ class Simulator {
   /// Schedules `action` at `now() + delay`, `delay >= 0`.
   EventHandle after(Time delay, EventQueue::Action action);
 
+  /// Late-class variant of at(): fires after every same-time normal event
+  /// no matter when it was inserted. Used for channel pump self-schedules
+  /// so burst-mode (scheduled a whole run ahead) and per-byte (scheduled
+  /// one byte-time ahead) pumps occupy the same slot within a tick.
+  EventHandle at_late(Time when, EventQueue::Action action);
+
   void cancel(EventHandle handle) { queue_.cancel(handle); }
 
   /// Runs until the queue drains or `stop()` is called.
@@ -45,6 +51,13 @@ class Simulator {
   [[nodiscard]] bool idle() const { return queue_.empty(); }
   [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
 
+  /// Total events fired since construction (hot-path bench instrumentation).
+  [[nodiscard]] std::int64_t events_dispatched() const { return dispatched_; }
+  /// High-water mark of the event queue (live + lazily-cancelled entries).
+  [[nodiscard]] std::size_t event_queue_peak() const {
+    return queue_.peak_size();
+  }
+
   /// Progress accounting: bumped by components when a byte of payload moves
   /// anywhere in the network. Monotone; used for deadlock detection.
   void note_progress(std::int64_t amount = 1) { progress_ += amount; }
@@ -57,6 +70,7 @@ class Simulator {
   Time now_ = 0;
   bool stopped_ = false;
   std::int64_t progress_ = 0;
+  std::int64_t dispatched_ = 0;
 };
 
 }  // namespace wormcast

@@ -50,6 +50,14 @@ class SampleSet {
   /// Exact percentile in [0,100]; 0 when empty.
   [[nodiscard]] double percentile(double p) const;
 
+  /// All samples in ascending order (the equivalence suite compares whole
+  /// sample streams, not just their moments).
+  [[nodiscard]] std::vector<double> sorted_values() const {
+    std::vector<double> v = samples_;
+    std::sort(v.begin(), v.end());
+    return v;
+  }
+
  private:
   mutable std::vector<double> samples_;
   mutable bool sorted_ = false;

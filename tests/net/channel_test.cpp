@@ -4,8 +4,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <utility>
 #include <vector>
 
+#include "sim/fault_injector.h"
 #include "sim/simulator.h"
 
 namespace wormcast {
@@ -175,6 +178,166 @@ TEST(Channel, SequentialWormsKeepOneByteSpacing) {
   ASSERT_EQ(sink.times.size(), 8u);
   // Second worm's head leaves at t=4 (line rate respected across worms).
   EXPECT_EQ(sink.times[4], 8);
+}
+
+/// A OneWormFeed that also advertises bursts (everything but head and tail).
+class BurstWormFeed final : public ByteFeed {
+ public:
+  BurstWormFeed(WormPtr worm, std::int64_t len)
+      : worm_(std::move(worm)), len_(len) {}
+  [[nodiscard]] bool byte_available() const override { return sent_ < len_; }
+  TxByte take_byte() override {
+    TxByte b;
+    b.head = sent_ == 0;
+    if (b.head) {
+      b.worm = worm_;
+      b.wire_len = len_;
+    }
+    ++sent_;
+    b.tail = sent_ == len_;
+    return b;
+  }
+  [[nodiscard]] std::int64_t burst_available() const override {
+    if (sent_ == 0) return 0;
+    return len_ - 1 - sent_;  // everything but the tail byte
+  }
+  std::int64_t take_bytes(std::int64_t max) override {
+    const std::int64_t n = std::min(max, burst_available());
+    sent_ += n;
+    return n;
+  }
+  void on_tail_sent() override { tail_sent_ = true; }
+  [[nodiscard]] bool tail_sent() const { return tail_sent_; }
+
+ private:
+  WormPtr worm_;
+  std::int64_t len_;
+  std::int64_t sent_ = 0;
+  bool tail_sent_ = false;
+};
+
+/// RecordSink that also absorbs bursts (unbounded budget).
+class BurstRecordSink final : public RxSink {
+ public:
+  explicit BurstRecordSink(Simulator& sim) : sim_(sim) {}
+  void on_head(const WormPtr&, std::int64_t) override { bytes += 1; }
+  void on_body(bool tail) override {
+    bytes += 1;
+    if (tail) tail_at = sim_.now();
+  }
+  [[nodiscard]] std::int64_t rx_burst_budget() const override { return 1 << 20; }
+  void on_body_burst(std::int64_t n, bool) override {
+    bytes += n;
+    ++burst_events;
+  }
+  Simulator& sim_;
+  std::int64_t bytes = 0;
+  std::int64_t burst_events = 0;
+  Time tail_at = kTimeNever;
+};
+
+// The burst fast path must deliver the same bytes with the same framing
+// timing as per-byte stepping — in far fewer events — and bytes_sent()
+// must read identically mid-run in both modes (logical send times).
+TEST(Channel, BurstModeMatchesPerByteWithFewerEvents) {
+  struct Run {
+    std::int64_t events = 0;
+    std::int64_t bytes = 0;
+    std::int64_t sent_at_4 = 0;
+    std::int64_t sent_at_12 = 0;
+    Time tail_at = kTimeNever;
+    std::int64_t burst_events = 0;
+  };
+  const auto run_mode = [](bool burst) {
+    Simulator sim;
+    Channel ch(sim, /*delay=*/7);
+    ch.set_burst_enabled(burst);
+    BurstRecordSink sink(sim);
+    ch.set_sink(&sink);
+    BurstWormFeed feed(worm_of(15), 16);
+    ch.attach_feed(&feed);
+    Run r;
+    sim.run_until(4);
+    r.sent_at_4 = ch.bytes_sent();
+    sim.run_until(12);
+    r.sent_at_12 = ch.bytes_sent();
+    sim.run();
+    r.events = sim.events_dispatched();
+    r.bytes = sink.bytes;
+    r.tail_at = sink.tail_at;
+    r.burst_events = sink.burst_events;
+    EXPECT_TRUE(feed.tail_sent());
+    EXPECT_EQ(ch.bytes_sent(), 16);
+    return r;
+  };
+  const Run b = run_mode(true);
+  const Run p = run_mode(false);
+  EXPECT_EQ(b.bytes, p.bytes);
+  EXPECT_EQ(b.tail_at, p.tail_at);
+  EXPECT_EQ(b.sent_at_4, p.sent_at_4);
+  EXPECT_EQ(b.sent_at_12, p.sent_at_12);
+  EXPECT_GT(b.burst_events, 0);
+  EXPECT_EQ(p.burst_events, 0);
+  EXPECT_LT(b.events, p.events);
+}
+
+// Bytes a fault swallows must not count as sent (utilization would be
+// inflated by traffic that never arrived); they are tracked separately.
+TEST(Channel, SwallowedBytesCountedSeparatelyFromSent) {
+  Simulator sim;
+  Channel ch(sim, /*delay=*/3);
+  RecordSink sink(sim);
+  ch.set_sink(&sink);
+  FaultInjector faults{RandomStream(1)};
+  faults.schedule_outage(nullptr, 0, 1'000'000);
+  ch.set_fault_injector(&faults);
+  auto w = worm_of(9);
+  w->kind = WormKind::kData;
+  OneWormFeed feed(w, 10);
+  ch.attach_feed(&feed);
+  sim.run();
+  EXPECT_TRUE(feed.tail_sent());  // the transmitter still drained
+  EXPECT_EQ(sink.times.size(), 0u);
+  EXPECT_EQ(ch.bytes_sent(), 0);
+  EXPECT_EQ(ch.bytes_swallowed(), 10);
+}
+
+// A feed whose take path re-entrantly kicks the channel (as InPort does when
+// forwarding a byte frees slack space) must not spawn a second pump chain:
+// that would break the one-byte-per-byte-time line rate.
+TEST(Channel, ReentrantKickFromTakePathKeepsLineRate) {
+  Simulator sim;
+  Channel ch(sim, /*delay=*/2);
+  RecordSink sink(sim);
+  ch.set_sink(&sink);
+
+  class KickingFeed final : public ByteFeed {
+   public:
+    KickingFeed(Channel& ch, WormPtr w) : ch_(ch), worm_(std::move(w)) {}
+    bool byte_available() const override { return sent_ < 12; }
+    TxByte take_byte() override {
+      TxByte b;
+      b.head = sent_ == 0;
+      if (b.head) {
+        b.worm = worm_;
+        b.wire_len = 12;
+      }
+      ++sent_;
+      b.tail = sent_ == 12;
+      ch_.kick();  // mid-take kick, exactly like InPort::after_byte_removed
+      return b;
+    }
+    void on_tail_sent() override {}
+    Channel& ch_;
+    WormPtr worm_;
+    std::int64_t sent_ = 0;
+  } feed{ch, worm_of(11)};
+
+  ch.attach_feed(&feed);
+  sim.run();
+  ASSERT_EQ(sink.times.size(), 12u);
+  for (std::size_t i = 1; i < sink.times.size(); ++i)
+    EXPECT_EQ(sink.times[i] - sink.times[i - 1], 1) << "at byte " << i;
 }
 
 TEST(Channel, DetachFeedStopsTransmissionSilently) {

@@ -93,5 +93,89 @@ TEST(EventQueue, InterleavedCancelAndPop) {
     EXPECT_EQ(fired[i], static_cast<int>(2 * i + 1));
 }
 
+TEST(EventQueue, StaleHandleAfterSlotReuseIsIgnored) {
+  EventQueue q;
+  // Fire an event, then schedule a new one: the new event reuses the old
+  // slot (LIFO free list), so the stale handle must not be able to kill it.
+  auto stale = q.schedule(1, [] {});
+  q.pop().action();
+  bool ran = false;
+  q.schedule(2, [&] { ran = true; });
+  q.cancel(stale);
+  ASSERT_FALSE(q.empty());
+  q.pop().action();
+  EXPECT_TRUE(ran);
+}
+
+TEST(EventQueue, StaleHandleAfterCancelAndReuseIsIgnored) {
+  EventQueue q;
+  auto stale = q.schedule(1, [] {});
+  q.cancel(stale);
+  bool ran = false;
+  q.schedule(2, [&] { ran = true; });
+  q.cancel(stale);  // slot was reused by the new event; must be a no-op
+  ASSERT_EQ(q.size(), 1u);
+  q.pop().action();
+  EXPECT_TRUE(ran);
+}
+
+TEST(EventQueue, MassCancellationCompactsHeap) {
+  EventQueue q;
+  std::vector<EventHandle> handles;
+  // One far-future survivor keeps the heap head live while thousands of
+  // nearer timers get cancelled (the retransmit-timer pattern).
+  bool survivor_ran = false;
+  q.schedule(1'000'000, [&] { survivor_ran = true; });
+  for (int i = 0; i < 4096; ++i)
+    handles.push_back(q.schedule(100 + i, [] {}));
+  for (auto& h : handles) q.cancel(h);
+  // Compaction bounds parked dead entries to at most half the heap.
+  EXPECT_LE(q.cancelled_in_heap() * 2, q.size() + q.cancelled_in_heap());
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_EQ(q.next_time(), 1'000'000);
+  q.pop().action();
+  EXPECT_TRUE(survivor_ran);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, PeakSizeTracksHighWaterMark) {
+  EventQueue q;
+  std::vector<EventHandle> handles;
+  for (int i = 0; i < 64; ++i) handles.push_back(q.schedule(i, [] {}));
+  for (int i = 0; i < 32; ++i) q.pop().action();
+  EXPECT_EQ(q.peak_size(), 64u);
+  q.schedule(1000, [] {});
+  EXPECT_EQ(q.peak_size(), 64u);  // never reached 65 live at once
+}
+
+// Regression: a cancelled entry parked mid-heap must stay dead even after
+// its slot is reused by a newer event. Without a generation check on the
+// heap entry, the stale entry pops as if live (firing a cancelled action)
+// and retires the reused slot, silently dropping the newer event.
+TEST(EventQueue, ParkedCancelledEntrySurvivesSlotReuse) {
+  EventQueue q;
+  bool cancelled_ran = false;
+  bool replacement_ran = false;
+  q.schedule(5, [] {});  // live head keeps the cancelled entry parked
+  auto doomed = q.schedule(10, [&] { cancelled_ran = true; });
+  q.cancel(doomed);  // not the head: entry stays in the heap
+  // Reuses the slot just freed by the cancel.
+  q.schedule(20, [&] { replacement_ran = true; });
+  EXPECT_EQ(q.size(), 2u);
+  while (!q.empty()) q.pop().action();
+  EXPECT_FALSE(cancelled_ran);
+  EXPECT_TRUE(replacement_ran);
+}
+
+TEST(EventQueue, NextTimeIsStableAcrossRepeatedCalls) {
+  EventQueue q;
+  auto a = q.schedule(5, [] {});
+  q.schedule(8, [] {});
+  q.cancel(a);
+  // next_time() is a pure read; calling it many times must not change state.
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(q.next_time(), 8);
+  EXPECT_EQ(q.size(), 1u);
+}
+
 }  // namespace
 }  // namespace wormcast
