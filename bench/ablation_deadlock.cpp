@@ -19,6 +19,7 @@
 #include "bench_util.h"
 #include "net/topologies.h"
 #include "sim/random.h"
+#include "sim/trace_export.h"
 #include "traffic/groups.h"
 
 using namespace wormcast;
@@ -49,6 +50,11 @@ Outcome run_cases(bool classes, int burst_per_member, int seeds, Time horizon) {
     cfg.traffic.offered_load = 1e-9;  // burst only
     cfg.seed = static_cast<std::uint64_t>(seed);
     Network net(make_torus(4, 4), groups, cfg);
+    // Flight recorder + watchdog: a wedged run (the classes-off livelock
+    // this bench exists to show) dumps per-host state AND the trace tail,
+    // so the stall explains *how* it happened, not just where it stands.
+    net.enable_tracing(8192);
+    bench::arm_watchdog(net, 400'000);
 
     RandomStream lens(200 + static_cast<std::uint64_t>(seed));
     for (const auto& g : groups) {
@@ -70,6 +76,18 @@ Outcome run_cases(bool classes, int burst_per_member, int seeds, Time horizon) {
     net.run_until(horizon);
     const auto s = net.summary();
     if (s.outstanding > 0) {
+      // A wedged run explains itself: per-host state plus the recorder's
+      // last decisions. The NACK livelock keeps *events* flowing, so the
+      // stall watchdog stays quiet — dump at the horizon instead. One run
+      // per configuration is enough to diagnose; the rest just count.
+      if (out.wedged_runs == 0) {
+        std::fprintf(stderr,
+                     "# wedged run (classes=%d seed=%d): %lld undelivered\n%s%s",
+                     classes ? 1 : 0, seed,
+                     static_cast<long long>(s.outstanding),
+                     net.debug_report().c_str(),
+                     format_trace_tail(net.sim().tracer()).c_str());
+      }
       ++out.wedged_runs;
       out.undelivered += s.outstanding;
     } else {

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdio>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -48,15 +49,28 @@ inline DeadlockWatchdog& arm_watchdog(Network& net, Time interval = 250'000) {
   return net.attach_watchdog(interval);
 }
 
+/// Wraps a statistic whose sample set may be empty: `has == false` turns
+/// the JSON cell into an explicit null instead of a fake zero.
+inline std::optional<double> opt(double v, bool has) {
+  return has ? std::optional<double>(v) : std::nullopt;
+}
+
 /// Accumulates numeric result rows and writes them as BENCH_<name>.json —
 /// a machine-readable mirror of the CSV stdout so CI and plotting scripts
-/// need not parse the human-oriented format.
+/// need not parse the human-oriented format. A nullopt cell serializes as
+/// JSON null (a statistic over zero samples is not a measurement).
 class JsonBench {
  public:
   explicit JsonBench(std::string name) : name_(std::move(name)) {}
 
-  void add_row(std::vector<std::pair<std::string, double>> kv) {
+  void add_row(std::vector<std::pair<std::string, std::optional<double>>> kv) {
     rows_.push_back(std::move(kv));
+  }
+
+  /// Attaches a uniform counter dump (see CounterRegistry::snapshot()),
+  /// serialized once as a top-level "counters" object.
+  void set_counters(std::vector<std::pair<std::string, double>> counters) {
+    counters_ = std::move(counters);
   }
 
   /// Writes BENCH_<name>.json in the current directory.
@@ -70,19 +84,33 @@ class JsonBench {
     std::fprintf(f, "{\"bench\": \"%s\", \"rows\": [", name_.c_str());
     for (std::size_t r = 0; r < rows_.size(); ++r) {
       std::fprintf(f, "%s\n  {", r == 0 ? "" : ",");
-      for (std::size_t i = 0; i < rows_[r].size(); ++i)
-        std::fprintf(f, "%s\"%s\": %.6g", i == 0 ? "" : ", ",
-                     rows_[r][i].first.c_str(), rows_[r][i].second);
+      for (std::size_t i = 0; i < rows_[r].size(); ++i) {
+        std::fprintf(f, "%s\"%s\": ", i == 0 ? "" : ", ",
+                     rows_[r][i].first.c_str());
+        if (rows_[r][i].second.has_value())
+          std::fprintf(f, "%.6g", *rows_[r][i].second);
+        else
+          std::fprintf(f, "null");
+      }
       std::fprintf(f, "}");
     }
-    std::fprintf(f, "\n]}\n");
+    std::fprintf(f, "\n]");
+    if (!counters_.empty()) {
+      std::fprintf(f, ", \"counters\": {");
+      for (std::size_t i = 0; i < counters_.size(); ++i)
+        std::fprintf(f, "%s\"%s\": %.6g", i == 0 ? "" : ", ",
+                     counters_[i].first.c_str(), counters_[i].second);
+      std::fprintf(f, "}");
+    }
+    std::fprintf(f, "}\n");
     std::fclose(f);
     std::fprintf(stderr, "# wrote %s\n", path.c_str());
   }
 
  private:
   std::string name_;
-  std::vector<std::vector<std::pair<std::string, double>>> rows_;
+  std::vector<std::vector<std::pair<std::string, std::optional<double>>>> rows_;
+  std::vector<std::pair<std::string, double>> counters_;
 };
 
 }  // namespace wormcast::bench

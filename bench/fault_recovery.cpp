@@ -22,6 +22,7 @@ namespace {
 struct Point {
   double delivered = 0.0;  // completed / created
   double p99 = 0.0;        // per-destination mcast latency
+  bool has_p99 = false;    // false: no mcast delivery was sampled
   double retx_per_msg = 0.0;
 };
 
@@ -47,6 +48,7 @@ Point run_lossy(Scheme scheme, double loss, Time measure, std::uint64_t seed) {
     p.retx_per_msg =
         static_cast<double>(s.retransmits) / static_cast<double>(s.messages);
   }
+  p.has_p99 = net.metrics().mcast_latency().count() > 0;
   p.p99 = net.metrics().mcast_latency().percentile(99.0);
   return p;
 }
@@ -77,10 +79,10 @@ int main(int argc, char** argv) {
     std::fflush(stdout);
     json.add_row({{"loss_rate", rate},
                   {"circuit_delivered", circuit.delivered},
-                  {"circuit_p99", circuit.p99},
+                  {"circuit_p99", bench::opt(circuit.p99, circuit.has_p99)},
                   {"circuit_retx", circuit.retx_per_msg},
                   {"tree_delivered", tree.delivered},
-                  {"tree_p99", tree.p99},
+                  {"tree_p99", bench::opt(tree.p99, tree.has_p99)},
                   {"tree_retx", tree.retx_per_msg}});
   }
   json.write();

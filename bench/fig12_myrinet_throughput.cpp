@@ -18,7 +18,21 @@
 using namespace wormcast;
 
 int main(int argc, char** argv) {
-  const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+  bool quick = false;
+  std::string trace_out;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      quick = true;
+    } else if (arg == "--trace-out" && i + 1 < argc) {
+      trace_out = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--quick] [--trace-out <file.trace.json>]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
   const Time span = quick ? 3'000'000 : 12'000'000;
 
   std::printf("# Figure 12: per-host throughput (Mb/s) vs packet size, "
@@ -28,8 +42,14 @@ int main(int argc, char** argv) {
       quick ? std::vector<std::int64_t>{1024, 4096, 8192}
             : std::vector<std::int64_t>{1024, 2048, 3072, 4096, 5120,
                                         6144, 7168, 8192};
+  bool first = true;
   for (const std::int64_t size : sizes) {
-    const auto single = bench::run_testbed(1, size, span);
+    // --trace-out captures the first-size single-sender run: small enough
+    // to load in Perfetto, yet it exercises every layer end to end.
+    const auto single = bench::run_testbed(1, size, span, /*burst=*/true,
+                                           /*tracing=*/false,
+                                           first ? trace_out : std::string());
+    first = false;
     const auto all = bench::run_testbed(8, size, span);
     std::printf("%lld,%.1f,%.1f\n", static_cast<long long>(size),
                 single.throughput_mbps, all.throughput_mbps);

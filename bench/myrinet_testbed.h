@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "bench_util.h"
 #include "core/network.h"
@@ -33,14 +34,23 @@ struct TestbedResult {
   std::int64_t events_dispatched = 0;
   std::int64_t event_queue_peak = 0;
   std::int64_t bytes_on_wire = 0;  // bytes delivered across every channel
+  // Flight-recorder stats (zero when tracing was off).
+  std::int64_t trace_events = 0;   // total recorded (including overwritten)
+  std::int64_t trace_dropped = 0;  // overwritten by ring wrap
+  // Uniform counter dump for JsonBench::set_counters.
+  std::vector<std::pair<std::string, double>> counters;
 };
 
 /// Runs the testbed with `senders` hosts multicasting `packet_size`-byte
 /// packets as fast as the adapter accepts them, for `span` byte-times.
 /// `burst_channels` toggles the channel burst fast path (results are
-/// identical either way; the hot-path bench times both).
+/// identical either way; the hot-path bench times both). With `tracing`
+/// on (or a non-empty `trace_out`) the flight recorder runs for the whole
+/// span; `trace_out` additionally exports Chrome trace-event JSON.
 inline TestbedResult run_testbed(int senders, std::int64_t packet_size,
-                                 Time span, bool burst_channels = true) {
+                                 Time span, bool burst_channels = true,
+                                 bool tracing = false,
+                                 const std::string& trace_out = {}) {
   ExperimentConfig cfg;
   cfg.fabric.burst_channels = burst_channels;
   cfg.protocol.scheme = Scheme::kHamiltonianSF;
@@ -55,6 +65,7 @@ inline TestbedResult run_testbed(int senders, std::int64_t packet_size,
 
   auto group = make_full_group(8);
   Network net(make_myrinet_testbed(), {group}, cfg);
+  if (tracing || !trace_out.empty()) net.enable_tracing();
 
   // Saturating applications: top up each sender whenever its adapter's
   // transmit queue has drained ("sent as many packets as possible").
@@ -124,6 +135,18 @@ inline TestbedResult run_testbed(int senders, std::int64_t packet_size,
   out.events_dispatched = net.sim().events_dispatched();
   out.event_queue_peak = net.sim().event_queue_peak();
   out.bytes_on_wire = net.fabric().fabric_bytes_sent();
+  out.trace_events = net.sim().tracer().recorded();
+  out.trace_dropped = net.sim().tracer().dropped();
+  CounterRegistry reg;
+  net.register_counters(reg);
+  out.counters = reg.snapshot();
+  if (!trace_out.empty()) {
+    if (net.write_trace(trace_out))
+      std::fprintf(stderr, "# wrote %s (%lld events)\n", trace_out.c_str(),
+                   static_cast<long long>(out.trace_events));
+    else
+      std::fprintf(stderr, "# could not write %s\n", trace_out.c_str());
+  }
   return out;
 }
 

@@ -25,10 +25,11 @@ struct Timed {
   double wall_ms = 0.0;
 };
 
-Timed timed_run(std::int64_t packet, Time span, bool burst) {
+Timed timed_run(std::int64_t packet, Time span, bool burst,
+                bool tracing = false) {
   const auto t0 = std::chrono::steady_clock::now();
   Timed t;
-  t.result = bench::run_testbed(/*senders=*/8, packet, span, burst);
+  t.result = bench::run_testbed(/*senders=*/8, packet, span, burst, tracing);
   const auto t1 = std::chrono::steady_clock::now();
   t.wall_ms =
       std::chrono::duration<double, std::milli>(t1 - t0).count();
@@ -36,7 +37,7 @@ Timed timed_run(std::int64_t packet, Time span, bool burst) {
 }
 
 void report(const char* mode, const Timed& t, bench::JsonBench& json,
-            bool burst) {
+            bool burst, bool tracing = false) {
   const double wall_s = t.wall_ms / 1000.0;
   const double events_per_s =
       wall_s > 0 ? static_cast<double>(t.result.events_dispatched) / wall_s : 0;
@@ -49,6 +50,7 @@ void report(const char* mode, const Timed& t, bench::JsonBench& json,
               t.result.throughput_mbps);
   std::fflush(stdout);
   json.add_row({{"burst", burst ? 1.0 : 0.0},
+                {"tracing", tracing ? 1.0 : 0.0},
                 {"wall_ms", t.wall_ms},
                 {"events", static_cast<double>(t.result.events_dispatched)},
                 {"events_per_sec", events_per_s},
@@ -78,6 +80,12 @@ int main(int argc, char** argv) {
   report("burst", burst, json, true);
   const Timed per_byte = timed_run(packet, span, /*burst=*/false);
   report("per_byte", per_byte, json, false);
+  // Overhead guard: the same burst run with the flight recorder on. The
+  // runtime-disabled path (the two runs above) must stay within noise of
+  // PR 3; the enabled path's cost is reported so regressions are visible.
+  const Timed traced = timed_run(packet, span, /*burst=*/true,
+                                 /*tracing=*/true);
+  report("burst_traced", traced, json, true, true);
 
   const double speedup =
       burst.wall_ms > 0 ? per_byte.wall_ms / burst.wall_ms : 0.0;
@@ -86,11 +94,25 @@ int main(int argc, char** argv) {
           ? static_cast<double>(per_byte.result.events_dispatched) /
                 static_cast<double>(burst.result.events_dispatched)
           : 0.0;
+  const double tracing_overhead =
+      burst.wall_ms > 0 ? traced.wall_ms / burst.wall_ms : 0.0;
   std::printf("# burst speedup: %.2fx wall clock, %.2fx fewer events\n",
               speedup, event_ratio);
+  std::printf("# tracing overhead: %.2fx wall clock, %lld events recorded\n",
+              tracing_overhead,
+              static_cast<long long>(traced.result.trace_events));
   if (burst.result.throughput_mbps != per_byte.result.throughput_mbps)
     std::printf("# WARNING: modes disagree on throughput — burst bug!\n");
-  json.add_row({{"speedup_wall", speedup}, {"event_ratio", event_ratio}});
+  if (burst.result.throughput_mbps != traced.result.throughput_mbps)
+    std::printf("# WARNING: tracing changed the results — observer bug!\n");
+  json.add_row({{"speedup_wall", speedup},
+                {"event_ratio", event_ratio},
+                {"tracing_overhead_wall", tracing_overhead},
+                {"trace_events",
+                 static_cast<double>(traced.result.trace_events)},
+                {"trace_dropped",
+                 static_cast<double>(traced.result.trace_dropped)}});
+  json.set_counters(traced.result.counters);
   json.write();
   return 0;
 }

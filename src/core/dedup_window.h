@@ -1,0 +1,47 @@
+// Bounded duplicate-suppression window: a set for O(1) membership plus a
+// FIFO of insertion order so the memory footprint stays proportional to the
+// configured window, not to the total message count. The invariant the unit
+// tests pin: the set and the FIFO always describe the same keys — evicting
+// the oldest FIFO entry removes exactly that key from the set.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <unordered_set>
+
+namespace wormcast {
+
+class DedupWindow {
+ public:
+  explicit DedupWindow(std::size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  /// Records `key` as seen. Returns false (and changes nothing) if the key
+  /// is already inside the window; returns true after inserting it, evicting
+  /// the oldest entries as needed to stay within capacity.
+  bool insert(std::uint64_t key) {
+    if (!keys_.insert(key).second) return false;
+    order_.push_back(key);
+    while (order_.size() > capacity_) {
+      keys_.erase(order_.front());
+      order_.pop_front();
+    }
+    return true;
+  }
+
+  [[nodiscard]] bool contains(std::uint64_t key) const {
+    return keys_.count(key) != 0;
+  }
+
+  [[nodiscard]] std::size_t size() const { return order_.size(); }
+  [[nodiscard]] std::size_t set_size() const { return keys_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+ private:
+  std::size_t capacity_;
+  std::unordered_set<std::uint64_t> keys_;
+  std::deque<std::uint64_t> order_;
+};
+
+}  // namespace wormcast

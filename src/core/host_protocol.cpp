@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "sim/trace.h"
+
 namespace wormcast {
 
 namespace {
@@ -39,6 +41,7 @@ HostProtocol::HostProtocol(Simulator& sim, HostAdapter& adapter,
       host_(adapter.host()),
       pool_(config.buffer_classes ? BufferPool(config.pool_bytes, 2)
                                   : BufferPool::unpartitioned(config.pool_bytes)),
+      done_(static_cast<std::size_t>(std::max(config.dedup_window, 1))),
       n_hosts_(n_hosts) {
   adapter_.set_client(this);
   if (config_.scheme == Scheme::kCentralizedCredit &&
@@ -304,6 +307,12 @@ WormPtr HostProtocol::make_data_worm(const TaskPtr& task,
 
 WormPtr HostProtocol::make_control_worm(WormKind kind,
                                         const WormPtr& data_worm) const {
+  // Every ACK/NACK this host emits goes through here — the single choke
+  // point is the natural trace site.
+  if (kind == WormKind::kAck)
+    WORMTRACE(sim_, kProtoAckSent, host_, -1, data_worm->id, data_worm->src);
+  else if (kind == WormKind::kNack)
+    WORMTRACE(sim_, kProtoNackSent, host_, -1, data_worm->id, data_worm->src);
   auto worm = std::make_shared<Worm>();
   worm->kind = kind;
   worm->src = host_;
@@ -371,6 +380,7 @@ void HostProtocol::retransmit_later(const TaskPtr& task,
     if (send.acked || send.failed || task->aborted || dead_) return;
     assert(send.started);
     metrics_.on_retransmit();
+    WORMTRACE(sim_, kProtoRetransmit, host_, -1, task->message_id, send.to);
     WormPtr worm = make_data_worm(task, send);
     // The retransmission streams from the (possibly still arriving)
     // reception; when reception has finished this is a plain buffered send.
@@ -394,6 +404,7 @@ void HostProtocol::on_ack_timeout(const TaskPtr& task, std::size_t send_index) {
   if (send.acked || send.failed || send.retry_pending || task->aborted || dead_)
     return;
   metrics_.on_ack_timeout();
+  WORMTRACE(sim_, kProtoAckTimeout, host_, -1, task->message_id, send.to);
   // Suspicion: the send has been un-ACKed past the suspicion timeout AND
   // the peer has been totally silent for as long — an overdue send alone
   // can be our own congestion (the retransmissions queued behind a local
@@ -408,6 +419,7 @@ void HostProtocol::on_ack_timeout(const TaskPtr& task, std::size_t send_index) {
       peer_silent(send.to)) {
     const HostId suspect = send.to;
     metrics_.on_suspicion(sim_.now());
+    WORMTRACE(sim_, kProtoSuspect, host_, -1, task->message_id, suspect);
     failure_listener_(suspect);
     return;
   }
@@ -424,6 +436,7 @@ void HostProtocol::fail_send(const TaskPtr& task, std::size_t send_index) {
   send.failed = true;
   ack_wait_.erase(send_key(task->message_id, send.to));
   metrics_.on_delivery_failed(task->ctx);
+  WORMTRACE(sim_, kProtoSendFailed, host_, -1, task->message_id, send.to);
   if (config_.total_ordering && serialized_scheme() && !send.header.relay_phase)
     window_advance(task->group, send.to);
   maybe_release(task);
@@ -450,15 +463,7 @@ void HostProtocol::abort_task(const TaskPtr& task) {
   (task->originator ? origin_tasks_ : tasks_).erase(task->message_id);
 }
 
-void HostProtocol::remember_done(std::uint64_t key) {
-  if (!done_keys_.insert(key).second) return;
-  done_order_.push_back(key);
-  while (done_order_.size() >
-         static_cast<std::size_t>(std::max(config_.dedup_window, 1))) {
-    done_keys_.erase(done_order_.front());
-    done_order_.pop_front();
-  }
-}
+void HostProtocol::remember_done(std::uint64_t key) { done_.insert(key); }
 
 void HostProtocol::maybe_release(const TaskPtr& task) {
   if (!task->delivered || !task->rx_complete) return;
@@ -493,8 +498,9 @@ RxDecision HostProtocol::on_rx_head(const WormPtr& worm,
     // Duplicate suppression: a retransmitted copy whose predecessor's ACK
     // was lost must be re-ACKed — its sender is still waiting — but never
     // re-delivered or re-forwarded.
-    if (done_keys_.count(dedup_key(h.message_id, h.relay_phase)) > 0) {
+    if (done_.contains(dedup_key(h.message_id, h.relay_phase))) {
       metrics_.on_duplicate();
+      WORMTRACE(sim_, kProtoDuplicate, host_, -1, worm->id, worm->src);
       adapter_.send_control(make_control_worm(WormKind::kAck, worm));
       return RxDecision::kDrop;
     }
@@ -507,6 +513,7 @@ RxDecision HostProtocol::on_rx_head(const WormPtr& worm,
     const auto existing = tasks_.find(h.message_id);
     if (!is_confirmation(h) && existing != tasks_.end()) {
       metrics_.on_duplicate();
+      WORMTRACE(sim_, kProtoDuplicate, host_, -1, worm->id, worm->src);
       if (existing->second->rx_complete)
         adapter_.send_control(make_control_worm(WormKind::kAck, worm));
       return RxDecision::kDrop;
@@ -533,6 +540,7 @@ RxDecision HostProtocol::on_rx_head(const WormPtr& worm,
     }
     return RxDecision::kDrop;
   }
+  WORMTRACE(sim_, kProtoReserve, host_, -1, worm->id, reserve_bytes);
 
   auto task = std::make_shared<Task>();
   task->ctx = worm->message;
@@ -789,6 +797,7 @@ void HostProtocol::on_peer_removed(
     HostId dead, const std::vector<GroupTables::Reattachment>& adopted) {
   if (dead_ || dead == host_) return;
   if (!removed_peers_.insert(dead).second) return;
+  WORMTRACE(sim_, kProtoRepair, host_, -1, 0, dead);
   last_heard_.erase(dead);
   probe_sent_.erase(dead);
   // Drop the stale TX backlog addressed to the dead host: retargeted
@@ -967,11 +976,13 @@ void HostProtocol::probe_tick() {
     if (sent != probe_sent_.end() &&
         now - sent->second >= config_.suspicion_timeout) {
       metrics_.on_suspicion(now);
+      WORMTRACE(sim_, kProtoSuspect, host_, -1, 0, n);
       if (failure_listener_) failure_listener_(n);
       continue;
     }
     if (sent == probe_sent_.end()) probe_sent_.emplace(n, now);
     try {
+      WORMTRACE(sim_, kProtoProbe, host_, -1, 0, n);
       adapter_.send_control(make_probe_worm(n, WormKind::kProbe));
     } catch (const std::logic_error&) {
       // Unreachable after a partitioning link death: keep the clock

@@ -27,6 +27,7 @@
 
 #include "adapter/buffer_pool.h"
 #include "adapter/host_adapter.h"
+#include "core/dedup_window.h"
 #include "core/group_tables.h"
 #include "core/metrics.h"
 #include "core/protocol_config.h"
@@ -276,11 +277,10 @@ class HostProtocol final : public AdapterClient {
   /// message (scheme (b) delivers a message as several fragments).
   std::unordered_map<std::uint64_t, std::int64_t> switch_mcast_rx_;
   /// Recovery-mode dedup memory: keys of fully received (message, phase)
-  /// pairs, bounded FIFO of config_.dedup_window entries. A duplicate of a
+  /// pairs, bounded to config_.dedup_window entries. A duplicate of a
   /// remembered key is re-ACKed (its ACK was evidently lost), never
   /// re-delivered or re-forwarded.
-  std::unordered_set<std::uint64_t> done_keys_;
-  std::deque<std::uint64_t> done_order_;
+  DedupWindow done_;
 
   // --- failure detection state ----------------------------------------------
   bool dead_ = false;  // crash-stopped

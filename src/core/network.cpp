@@ -6,6 +6,7 @@
 
 #include "net/mcast_route_builder.h"
 #include "sim/random.h"
+#include "sim/trace_export.h"
 
 namespace wormcast {
 
@@ -202,6 +203,9 @@ Network::Summary Network::summary() const {
   s.mcast_latency_p95 = metrics_.mcast_latency().percentile(95.0);
   s.mcast_completion_mean = metrics_.mcast_completion().mean();
   s.unicast_latency_mean = metrics_.unicast_latency().mean();
+  s.mcast_samples = metrics_.mcast_latency().count();
+  s.mcast_completion_samples = metrics_.mcast_completion().count();
+  s.unicast_samples = metrics_.unicast_latency().count();
   const double span = measure_span_ > 0 ? static_cast<double>(measure_span_) : 1.0;
   s.throughput_per_host = static_cast<double>(metrics_.payload_delivered()) /
                           span / static_cast<double>(topo_.num_hosts());
@@ -227,6 +231,55 @@ Network::Summary Network::summary() const {
   s.unicasts_flushed = mcast_engine_->unicasts_flushed();
   s.last_repair_time = metrics_.last_repair_time();
   return s;
+}
+
+bool Network::write_trace(const std::string& path) const {
+  return write_chrome_trace(sim_.tracer(), path);
+}
+
+void Network::register_counters(CounterRegistry& reg) const {
+  const auto i64 = [](auto getter) {
+    return [getter] { return static_cast<double>(getter()); };
+  };
+  reg.add("messages_created", i64([this] { return metrics_.messages_created(); }));
+  reg.add("messages_completed",
+          i64([this] { return metrics_.messages_completed(); }));
+  reg.add("payload_delivered",
+          i64([this] { return metrics_.payload_delivered(); }));
+  reg.add("outstanding", i64([this] { return metrics_.outstanding(); }));
+  reg.add("nacks", i64([this] { return metrics_.nacks(); }));
+  reg.add("retransmits", i64([this] { return metrics_.retransmits(); }));
+  reg.add("relays", i64([this] { return metrics_.relays(); }));
+  reg.add("ack_timeouts", i64([this] { return metrics_.ack_timeouts(); }));
+  reg.add("duplicates_suppressed",
+          i64([this] { return metrics_.duplicates_suppressed(); }));
+  reg.add("deliveries_failed",
+          i64([this] { return metrics_.deliveries_failed(); }));
+  reg.add("mcast_drops", i64([this] { return metrics_.mcast_drops(); }));
+  reg.add("suspicions", i64([this] { return metrics_.suspicions(); }));
+  reg.add("repairs", i64([this] { return metrics_.repairs(); }));
+  reg.add("sends_rerouted", i64([this] { return metrics_.sends_rerouted(); }));
+  reg.add("messages_disrupted",
+          i64([this] { return metrics_.messages_disrupted(); }));
+  reg.add("links_failed", i64([this] { return metrics_.links_failed(); }));
+  reg.add("fabric_bytes_sent",
+          i64([this] { return fabric_->fabric_bytes_sent(); }));
+  reg.add("fabric_bytes_swallowed",
+          i64([this] { return fabric_->total_bytes_swallowed(); }));
+  reg.add("fabric_overflows", i64([this] { return fabric_->total_overflows(); }));
+  reg.add("faults_injected", i64([this] { return faults_->total_injected(); }));
+  reg.add("mcast_connections",
+          i64([this] { return mcast_engine_->connections_opened(); }));
+  reg.add("mcast_fragments",
+          i64([this] { return mcast_engine_->fragments_sent(); }));
+  reg.add("unicasts_flushed",
+          i64([this] { return mcast_engine_->unicasts_flushed(); }));
+  reg.add("events_dispatched", i64([this] { return sim_.events_dispatched(); }));
+  reg.add("event_queue_peak", i64([this] { return sim_.event_queue_peak(); }));
+  reg.add("trace_events_recorded",
+          i64([this] { return sim_.tracer().recorded(); }));
+  reg.add("trace_events_dropped",
+          i64([this] { return sim_.tracer().dropped(); }));
 }
 
 DeadlockWatchdog& Network::attach_watchdog(Time interval) {

@@ -19,6 +19,7 @@
 #include "net/switch_mcast_engine.h"
 #include "net/topology.h"
 #include "net/updown.h"
+#include "sim/counters.h"
 #include "sim/fault_injector.h"
 #include "sim/simulator.h"
 #include "sim/watchdog.h"
@@ -131,6 +132,23 @@ class Network {
   /// Returns the watchdog for inspection; lives as long as the Network.
   DeadlockWatchdog& attach_watchdog(Time interval);
 
+  // --- observability (wormtrace) --------------------------------------
+
+  /// Turns on the flight recorder: every instrumented component starts
+  /// appending to a ring of `capacity` events (oldest overwritten first).
+  void enable_tracing(std::size_t capacity = Tracer::kDefaultCapacity) {
+    sim_.tracer().enable(capacity);
+  }
+
+  /// Writes the recorded events as Chrome trace-event JSON (load the file
+  /// at ui.perfetto.dev; 1 simulated byte-time is rendered as 1 us).
+  [[nodiscard]] bool write_trace(const std::string& path) const;
+
+  /// Registers every network-wide counter (protocol metrics, fabric byte
+  /// totals, switch-multicast engine decisions, simulator event stats,
+  /// tracer occupancy) so benches serialize them uniformly.
+  void register_counters(CounterRegistry& reg) const;
+
   /// Aggregate results of the last run.
   struct Summary {
     double offered_load = 0.0;             // generation-rate knob
@@ -140,6 +158,11 @@ class Network {
     double mcast_latency_p95 = 0.0;
     double mcast_completion_mean = 0.0;    // whole-group
     double unicast_latency_mean = 0.0;
+    // Sample counts behind the latency aggregates: a mean/percentile with a
+    // zero count is not a measurement, and emitters must say null, not 0.
+    std::int64_t mcast_samples = 0;
+    std::int64_t mcast_completion_samples = 0;
+    std::int64_t unicast_samples = 0;
     double throughput_per_host = 0.0;      // delivered payload B / bt / host
     std::int64_t messages = 0;
     std::int64_t drops = 0;

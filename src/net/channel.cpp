@@ -78,6 +78,21 @@ void Channel::pump() {
     burst_ok_ = b.worm == nullptr || b.worm->kind != WormKind::kSwitchMcast;
     if (faults_ != nullptr && faults_->armed()) classify_fault(b);
   }
+#if !defined(WORMCAST_TRACE_DISABLED)
+  if (sim_.tracer().enabled()) {
+    if (b.head) {
+      trace_worm_ = b.worm != nullptr ? b.worm->id : 0;
+      sim_.tracer().record(sim_.now(), TraceEventType::kChanHead, trace_node_,
+                           trace_port_, trace_worm_, b.wire_len);
+      if (fault_mode_ == FaultMode::kSwallow)
+        sim_.tracer().record(sim_.now(), TraceEventType::kChanSwallow,
+                             trace_node_, trace_port_, trace_worm_, 0);
+    }
+    if (b.tail)
+      sim_.tracer().record(sim_.now(), TraceEventType::kChanTail, trace_node_,
+                           trace_port_, trace_worm_, 0);
+  }
+#endif
 
   bool deliver = true;
   bool synth_tail = false;
@@ -144,6 +159,7 @@ bool Channel::try_burst() {
   const std::int64_t n = feed_->take_bytes(cap);
   assert(n >= 1 && n <= cap);
   last_send_ = sim_.now() + n - 1;  // logical sends at now .. now+n-1
+  WORMTRACE(sim_, kChanBurst, trace_node_, trace_port_, trace_worm_, n);
   if (fault_mode_ == FaultMode::kSwallow) {
     bytes_swallowed_ += n;
     last_run_swallowed_ = true;
@@ -215,12 +231,14 @@ void Channel::deliver_front() {
 void Channel::signal_stop() {
   sim_.after(delay_, [this] {
     stopped_ = true;
+    WORMTRACE(sim_, kChanStop, trace_node_, trace_port_, trace_worm_, 0);
   });
 }
 
 void Channel::signal_go() {
   sim_.after(delay_, [this] {
     stopped_ = false;
+    WORMTRACE(sim_, kChanGo, trace_node_, trace_port_, trace_worm_, 0);
     kick();
   });
 }

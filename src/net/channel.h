@@ -145,6 +145,13 @@ class Channel {
   void set_burst_enabled(bool on) { burst_ = on; }
   [[nodiscard]] bool burst_enabled() const { return burst_; }
 
+  /// Names this channel's trace track: the (node, port) of its transmitter
+  /// end. Set once at fabric wiring; purely observational (wormtrace).
+  void set_trace_id(std::int32_t node, std::int32_t port) {
+    trace_node_ = node;
+    trace_port_ = port;
+  }
+
   /// Receiver-side flow control: schedule a STOP (GO) to take effect at the
   /// transmitter after the propagation delay.
   void signal_stop();
@@ -209,6 +216,11 @@ class Channel {
   /// multicast worms always step per-byte — the replication engine paces
   /// branches byte-by-byte).
   bool burst_ok_ = false;
+  // Trace track identity (transmitter end) and the current worm's id for
+  // head/tail span pairing; maintained only while tracing is enabled.
+  std::int32_t trace_node_ = -1;
+  std::int32_t trace_port_ = -1;
+  std::uint64_t trace_worm_ = 0;
 };
 
 }  // namespace wormcast

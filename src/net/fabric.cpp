@@ -16,6 +16,13 @@ Fabric::Fabric(Simulator& sim, const Topology& topo, FabricConfig config)
     channels_.push_back(std::make_unique<Channel>(sim_, d));  // b -> a
   }
   for (auto& ch : channels_) ch->set_burst_enabled(config_.burst_channels);
+  // Trace track identity: every channel is named by its transmitter end
+  // (node, port) — switch output ports and host uplinks alike.
+  for (NodeId n = 0; n < topo_.num_nodes(); ++n) {
+    const TopoNode& node = topo_.node(n);
+    for (PortId p = 0; p < static_cast<PortId>(node.ports.size()); ++p)
+      channel_from(node.ports[p].link, n).set_trace_id(n, p);
+  }
   switches_.resize(static_cast<std::size_t>(topo_.num_nodes()));
   for (NodeId n = 0; n < topo_.num_nodes(); ++n) {
     const TopoNode& node = topo_.node(n);

@@ -4,6 +4,7 @@
 
 #include "net/channel.h"
 #include "net/switch_rt.h"
+#include "sim/trace.h"
 
 namespace wormcast {
 
@@ -108,6 +109,8 @@ void SwitchMcastEngine::start(InPort& in) {
 
   Conn* raw = conn.get();
   conns_.emplace(&in, std::move(conn));
+  WORMTRACE(sim_, kMcastStart, c.sw->node(), in.port(), c.worm->id,
+            c.branches.size());
   consume_prefix(*raw);
   for (std::size_t i = 0; i < raw->branches.size(); ++i) open_fragment(*raw, i);
   if (config_.scheme == SwitchMcastScheme::kInterrupt &&
@@ -144,6 +147,9 @@ void SwitchMcastEngine::open_fragment(Conn& c, std::size_t idx) {
     const bool got = c.sw->claim_output_for_mcast(
         b.port, [this, conn_ptr, idx] { claim_complete(*conn_ptr, idx); });
     if (!got) {
+      // Hold decision: the branch waits for the port while its siblings
+      // (scheme-dependent) keep or yield theirs.
+      WORMTRACE(sim_, kMcastHold, c.sw->node(), b.port, c.worm->id, idx);
       b.claim_pending = true;
       return;
     }
@@ -161,6 +167,7 @@ void SwitchMcastEngine::claim_complete(Conn& c, std::size_t idx) {
   b.frag_prefix_sent = 0;
   b.frag_sent = 0;
   ++fragments_;
+  WORMTRACE(sim_, kMcastFragOpen, c.sw->node(), b.port, c.worm->id, idx);
   // Fresh worm object per fragment: downstream treats each fragment as an
   // independent worm carrying its own (re-prepended) route.
   auto frag = std::make_shared<Worm>();
@@ -252,6 +259,8 @@ void SwitchMcastEngine::branch_tail_sent(Conn& c, std::size_t idx) {
   b.open = false;
   b.holding_port = false;
   b.feed.reset();
+  WORMTRACE(sim_, kMcastFragClose, c.sw->node(), b.port, c.worm->id,
+            b.done ? 1 : 0);
   c.sw->release_mcast_output(b.port);
   if (!b.done) return;  // fragment closed; reopened by periodic_check
   for (const Branch& br : c.branches)
@@ -261,6 +270,7 @@ void SwitchMcastEngine::branch_tail_sent(Conn& c, std::size_t idx) {
 
 void SwitchMcastEngine::finish(Conn& c) {
   InPort* key = c.in;
+  WORMTRACE(sim_, kMcastFinish, c.sw->node(), c.in->port(), c.worm->id, 0);
   // Release any input bytes not yet consumed.
   while (c.body_consumed < c.body_arrived()) {
     c.in->mcast_consume();
@@ -299,6 +309,7 @@ void SwitchMcastEngine::close_fragment(Conn& c, std::size_t idx) {
     b.feed.reset();
     b.open = false;
     b.holding_port = false;
+    WORMTRACE(sim_, kMcastFragClose, c.sw->node(), b.port, c.worm->id, 0);
     c.sw->release_mcast_output(b.port);
     return;
   }
@@ -314,6 +325,8 @@ void SwitchMcastEngine::periodic_check(InPort* key) {
     if (any_branch_stopped(c)) {
       // Interrupt: non-blocked branches give up their paths (Section 3,
       // variant (b)) so other traffic can use them.
+      WORMTRACE(sim_, kMcastInterrupt, c.sw->node(), c.in->port(),
+                c.worm->id, 0);
       for (std::size_t i = 0; i < c.branches.size(); ++i) {
         Branch& b = c.branches[i];
         if (!b.open || b.done || b.closing) continue;
@@ -339,6 +352,8 @@ bool SwitchMcastEngine::maybe_flush_unicast(SwitchRt& sw, InPort& in,
   if (sim_.now() - op.last_data_byte >= config_.idle_flush_threshold) {
     ++flushed_;
     WormPtr flushed_worm = worm;
+    WORMTRACE(sim_, kMcastIdleFlush, sw.node(), out, flushed_worm->id,
+              flushed_worm->src);
     in.flush_front();
     if (flush_handler_) flush_handler_(flushed_worm);
     return true;
@@ -357,6 +372,8 @@ void SwitchMcastEngine::watch_for_flush(SwitchRt* sw, InPort* in, PortId out) {
     if (sim_.now() - port.last_data_byte >= config_.idle_flush_threshold) {
       sw->cancel_request(*in, out);
       WormPtr flushed_worm = in->front_worm();
+      WORMTRACE(sim_, kMcastIdleFlush, sw->node(), out, flushed_worm->id,
+                flushed_worm->src);
       in->flush_front();
       ++flushed_;
       if (flush_handler_) flush_handler_(flushed_worm);

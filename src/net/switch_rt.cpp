@@ -6,6 +6,7 @@
 
 #include "net/switch_mcast.h"
 #include "net/topology.h"
+#include "sim/trace.h"
 
 namespace wormcast {
 
@@ -312,6 +313,9 @@ void SwitchRt::grant_next(PortId out) {
   InPort* next = *best;
   op.waiters.erase(best);
   op.busy = true;
+  WORMTRACE(sim_, kArbGrant, node_, out,
+            next->front_worm() != nullptr ? next->front_worm()->id : 0,
+            next->port());
   next->granted(out);
   op.channel->attach_feed(next);
 }

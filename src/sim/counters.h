@@ -1,0 +1,39 @@
+// Uniform counter serialization.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace wormcast {
+
+/// A registry of named numeric getters. Components register their counters
+/// once (Network::register_counters wires up Metrics, the fabric, the
+/// multicast engine, the simulator and the tracer); bench emitters then
+/// snapshot every registered counter into their JSON without knowing each
+/// component's accessors — new counters show up in every BENCH_*.json
+/// automatically.
+class CounterRegistry {
+ public:
+  using Getter = std::function<double()>;
+
+  void add(std::string name, Getter getter) {
+    entries_.emplace_back(std::move(name), std::move(getter));
+  }
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+  /// Evaluates every getter now: (name, value) in registration order.
+  [[nodiscard]] std::vector<std::pair<std::string, double>> snapshot() const {
+    std::vector<std::pair<std::string, double>> out;
+    out.reserve(entries_.size());
+    for (const auto& [name, get] : entries_) out.emplace_back(name, get());
+    return out;
+  }
+
+ private:
+  std::vector<std::pair<std::string, Getter>> entries_;
+};
+
+}  // namespace wormcast

@@ -5,6 +5,7 @@
 #include <functional>
 
 #include "sim/event_queue.h"
+#include "sim/trace.h"
 #include "sim/types.h"
 
 namespace wormcast {
@@ -63,10 +64,16 @@ class Simulator {
   void note_progress(std::int64_t amount = 1) { progress_ += amount; }
   [[nodiscard]] std::int64_t progress() const { return progress_; }
 
+  /// The wormtrace flight recorder (disabled until Tracer::enable); every
+  /// component reaches it through its Simulator reference via WORMTRACE.
+  [[nodiscard]] Tracer& tracer() { return tracer_; }
+  [[nodiscard]] const Tracer& tracer() const { return tracer_; }
+
  private:
   void dispatch_one();
 
   EventQueue queue_;
+  Tracer tracer_;
   Time now_ = 0;
   bool stopped_ = false;
   std::int64_t progress_ = 0;

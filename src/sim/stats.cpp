@@ -39,13 +39,16 @@ void RunningStat::merge(const RunningStat& other) {
 
 double SampleSet::percentile(double p) const {
   if (samples_.empty()) return 0.0;
-  assert(p >= 0.0 && p <= 100.0);
+  // Clamp rather than assert: an out-of-range p (a sweep knob gone wrong,
+  // NDEBUG consumers) must not index past the sample vector.
+  p = std::clamp(p, 0.0, 100.0);
   if (!sorted_) {
     std::sort(samples_.begin(), samples_.end());
     sorted_ = true;
   }
   const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
-  const auto lo = static_cast<std::size_t>(rank);
+  const auto lo =
+      std::min(static_cast<std::size_t>(rank), samples_.size() - 1);
   const auto hi = std::min(lo + 1, samples_.size() - 1);
   const double frac = rank - static_cast<double>(lo);
   return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;

@@ -47,15 +47,18 @@ class SampleSet {
   [[nodiscard]] std::int64_t count() const { return stat_.count(); }
   [[nodiscard]] double mean() const { return stat_.mean(); }
 
-  /// Exact percentile in [0,100]; 0 when empty.
+  /// Exact percentile; `p` is clamped to [0,100]. 0 when empty.
   [[nodiscard]] double percentile(double p) const;
 
   /// All samples in ascending order (the equivalence suite compares whole
-  /// sample streams, not just their moments).
-  [[nodiscard]] std::vector<double> sorted_values() const {
-    std::vector<double> v = samples_;
-    std::sort(v.begin(), v.end());
-    return v;
+  /// sample streams, not just their moments). Sorts in place at most once
+  /// per batch of add()s — repeated calls return the cached sorted vector.
+  [[nodiscard]] const std::vector<double>& sorted_values() const {
+    if (!sorted_) {
+      std::sort(samples_.begin(), samples_.end());
+      sorted_ = true;
+    }
+    return samples_;
   }
 
  private:

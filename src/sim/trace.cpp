@@ -1,0 +1,109 @@
+#include "sim/trace.h"
+
+#include <algorithm>
+
+namespace wormcast {
+
+const char* trace_event_name(TraceEventType type) {
+  switch (type) {
+    case TraceEventType::kChanStop: return "chan.stop";
+    case TraceEventType::kChanGo: return "chan.go";
+    case TraceEventType::kChanHead: return "worm";
+    case TraceEventType::kChanTail: return "chan.tail";
+    case TraceEventType::kChanBurst: return "chan.burst";
+    case TraceEventType::kChanSwallow: return "chan.swallow";
+    case TraceEventType::kArbGrant: return "arb.grant";
+    case TraceEventType::kMcastHold: return "mcast.hold";
+    case TraceEventType::kMcastFragOpen: return "mcast.fragment";
+    case TraceEventType::kMcastFragClose: return "mcast.frag_close";
+    case TraceEventType::kMcastIdleFlush: return "mcast.idle_flush";
+    case TraceEventType::kMcastStart: return "mcast.connection";
+    case TraceEventType::kMcastInterrupt: return "mcast.interrupt";
+    case TraceEventType::kMcastFinish: return "mcast.finish";
+    case TraceEventType::kAdpTxStart: return "adp.tx";
+    case TraceEventType::kAdpTxDone: return "adp.tx_done";
+    case TraceEventType::kAdpRxHead: return "adp.rx";
+    case TraceEventType::kAdpRxDone: return "adp.rx_done";
+    case TraceEventType::kAdpRxDrop: return "adp.rx_drop";
+    case TraceEventType::kAdpRxTruncated: return "adp.rx_truncated";
+    case TraceEventType::kProtoReserve: return "proto.reserve";
+    case TraceEventType::kProtoAckSent: return "proto.ack";
+    case TraceEventType::kProtoNackSent: return "proto.nack";
+    case TraceEventType::kProtoAckTimeout: return "proto.ack_timeout";
+    case TraceEventType::kProtoRetransmit: return "proto.retransmit";
+    case TraceEventType::kProtoSendFailed: return "proto.send_failed";
+    case TraceEventType::kProtoDuplicate: return "proto.duplicate";
+    case TraceEventType::kProtoSuspect: return "proto.suspect";
+    case TraceEventType::kProtoProbe: return "proto.probe";
+    case TraceEventType::kProtoRepair: return "proto.repair";
+  }
+  return "unknown";
+}
+
+TraceTrack trace_track_of(TraceEventType type) {
+  switch (type) {
+    case TraceEventType::kChanStop:
+    case TraceEventType::kChanGo:
+    case TraceEventType::kChanHead:
+    case TraceEventType::kChanTail:
+    case TraceEventType::kChanBurst:
+    case TraceEventType::kChanSwallow:
+      return TraceTrack::kChannel;
+    case TraceEventType::kArbGrant:
+    case TraceEventType::kMcastHold:
+    case TraceEventType::kMcastFragOpen:
+    case TraceEventType::kMcastFragClose:
+    case TraceEventType::kMcastIdleFlush:
+      return TraceTrack::kSwitchOut;
+    case TraceEventType::kMcastStart:
+    case TraceEventType::kMcastInterrupt:
+    case TraceEventType::kMcastFinish:
+      return TraceTrack::kSwitchIn;
+    case TraceEventType::kAdpTxStart:
+    case TraceEventType::kAdpTxDone:
+    case TraceEventType::kAdpRxHead:
+    case TraceEventType::kAdpRxDone:
+    case TraceEventType::kAdpRxDrop:
+    case TraceEventType::kAdpRxTruncated:
+      return TraceTrack::kAdapter;
+    case TraceEventType::kProtoReserve:
+    case TraceEventType::kProtoAckSent:
+    case TraceEventType::kProtoNackSent:
+    case TraceEventType::kProtoAckTimeout:
+    case TraceEventType::kProtoRetransmit:
+    case TraceEventType::kProtoSendFailed:
+    case TraceEventType::kProtoDuplicate:
+    case TraceEventType::kProtoSuspect:
+    case TraceEventType::kProtoProbe:
+    case TraceEventType::kProtoRepair:
+      return TraceTrack::kHost;
+  }
+  return TraceTrack::kHost;
+}
+
+void Tracer::enable(std::size_t capacity) {
+  std::size_t cap = 16;
+  while (cap < capacity) cap <<= 1;
+  if (cap != ring_.size()) {
+    ring_.assign(cap, TraceEvent{});
+    total_ = 0;
+  }
+  mask_ = cap - 1;
+  enabled_ = true;
+}
+
+std::vector<TraceEvent> Tracer::snapshot(std::size_t last_n) const {
+  const auto held = static_cast<std::size_t>(
+      std::min<std::int64_t>(total_, static_cast<std::int64_t>(ring_.size())));
+  const std::size_t n = std::min(last_n, held);
+  std::vector<TraceEvent> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t idx =
+        (static_cast<std::size_t>(total_) - n + i) & mask_;
+    out.push_back(ring_[idx]);
+  }
+  return out;
+}
+
+}  // namespace wormcast

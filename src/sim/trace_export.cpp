@@ -1,0 +1,204 @@
+#include "sim/trace_export.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <map>
+#include <sstream>
+#include <utility>
+
+namespace wormcast {
+
+namespace {
+
+/// Does `type` open a span, and if so which type closes it?
+bool span_open(TraceEventType type, TraceEventType* closer) {
+  switch (type) {
+    case TraceEventType::kChanHead:
+      *closer = TraceEventType::kChanTail;
+      return true;
+    case TraceEventType::kAdpTxStart:
+      *closer = TraceEventType::kAdpTxDone;
+      return true;
+    case TraceEventType::kAdpRxHead:
+      *closer = TraceEventType::kAdpRxDone;
+      return true;
+    case TraceEventType::kMcastStart:
+      *closer = TraceEventType::kMcastFinish;
+      return true;
+    case TraceEventType::kMcastFragOpen:
+      *closer = TraceEventType::kMcastFragClose;
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool span_close(TraceEventType type) {
+  return type == TraceEventType::kChanTail ||
+         type == TraceEventType::kAdpTxDone ||
+         type == TraceEventType::kAdpRxDone ||
+         type == TraceEventType::kMcastFinish ||
+         type == TraceEventType::kMcastFragClose;
+}
+
+struct TrackKey {
+  TraceTrack track;
+  std::int32_t node;
+  std::int32_t port;
+  bool operator<(const TrackKey& o) const {
+    if (track != o.track) return track < o.track;
+    if (node != o.node) return node < o.node;
+    return port < o.port;
+  }
+};
+
+std::string track_name(const TrackKey& k) {
+  std::ostringstream out;
+  switch (k.track) {
+    case TraceTrack::kChannel:
+      out << "chan " << k.node << '.' << k.port;
+      break;
+    case TraceTrack::kSwitchOut:
+      out << "sw " << k.node << ".out" << k.port;
+      break;
+    case TraceTrack::kSwitchIn:
+      out << "sw " << k.node << ".in" << k.port;
+      break;
+    case TraceTrack::kAdapter:
+      out << "adapter h" << k.node;
+      break;
+    case TraceTrack::kHost:
+      out << "host h" << k.node;
+      break;
+  }
+  return out.str();
+}
+
+void append_event(std::string* out, const char* ph, const char* name,
+                  Time ts, Time dur, int tid, const TraceEvent& e) {
+  char buf[256];
+  if (dur >= 0) {
+    std::snprintf(buf, sizeof buf,
+                  ",\n{\"name\":\"%s\",\"ph\":\"%s\",\"ts\":%lld,"
+                  "\"dur\":%lld,\"pid\":0,\"tid\":%d,"
+                  "\"args\":{\"worm\":%" PRIu64 ",\"arg\":%lld}}",
+                  name, ph, static_cast<long long>(ts),
+                  static_cast<long long>(dur), tid, e.worm,
+                  static_cast<long long>(e.arg));
+  } else {
+    std::snprintf(buf, sizeof buf,
+                  ",\n{\"name\":\"%s\",\"ph\":\"%s\",\"s\":\"t\",\"ts\":%lld,"
+                  "\"pid\":0,\"tid\":%d,"
+                  "\"args\":{\"worm\":%" PRIu64 ",\"arg\":%lld}}",
+                  name, ph, static_cast<long long>(ts), tid, e.worm,
+                  static_cast<long long>(e.arg));
+  }
+  out->append(buf);
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const std::vector<TraceEvent>& events) {
+  // Stable track ids in first-appearance order.
+  std::map<TrackKey, int> tids;
+  const auto tid_of = [&tids](const TraceEvent& e) {
+    const TrackKey key{trace_track_of(e.type), e.node, e.port};
+    const auto [it, fresh] =
+        tids.emplace(key, static_cast<int>(tids.size()) + 1);
+    (void)fresh;
+    return it->second;
+  };
+
+  std::string body;
+  // Open spans keyed by (tid, worm id); value = (start time, opening event).
+  std::map<std::pair<int, std::uint64_t>, std::pair<Time, TraceEvent>> open;
+  Time end_t = 0;
+  for (const TraceEvent& e : events) {
+    end_t = std::max(end_t, e.t);
+    const int tid = tid_of(e);
+    TraceEventType closer;
+    if (span_open(e.type, &closer)) {
+      const auto key = std::make_pair(tid, e.worm);
+      const auto it = open.find(key);
+      if (it != open.end()) {
+        // A second open without a close (the ring lost the closer): emit
+        // the stale span up to now so nothing silently disappears.
+        append_event(&body, "X", trace_event_name(it->second.second.type),
+                     it->second.first, e.t - it->second.first, tid,
+                     it->second.second);
+        it->second = {e.t, e};
+      } else {
+        open.emplace(key, std::make_pair(e.t, e));
+      }
+      continue;
+    }
+    if (span_close(e.type)) {
+      const auto it = open.find(std::make_pair(tid, e.worm));
+      if (it != open.end()) {
+        TraceEvent span = it->second.second;
+        span.arg = e.arg;  // the closer's detail (e.g. payload bytes)
+        const Time dur = std::max<Time>(1, e.t - it->second.first);
+        append_event(&body, "X", trace_event_name(span.type),
+                     it->second.first, dur, tid, span);
+        open.erase(it);
+      } else {
+        append_event(&body, "i", trace_event_name(e.type), e.t, -1, tid, e);
+      }
+      continue;
+    }
+    append_event(&body, "i", trace_event_name(e.type), e.t, -1, tid, e);
+  }
+  // Spans still open at the end of the recording run to the last timestamp.
+  for (const auto& [key, val] : open) {
+    const Time dur = std::max<Time>(1, end_t - val.first);
+    append_event(&body, "X", trace_event_name(val.second.type), val.first,
+                 dur, key.first, val.second);
+  }
+
+  std::string out = "{\"traceEvents\":[";
+  // Track-name metadata first, so viewers label every thread.
+  bool first = true;
+  for (const auto& [key, tid] : tids) {
+    char buf[192];
+    std::snprintf(buf, sizeof buf,
+                  "%s\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,"
+                  "\"tid\":%d,\"args\":{\"name\":\"%s\"}}",
+                  first ? "" : ",", tid, track_name(key).c_str());
+    first = false;
+    out.append(buf);
+  }
+  if (first && !body.empty()) body.erase(0, 1);  // no metadata: drop comma
+  out.append(body);
+  out.append("\n]}\n");
+  return out;
+}
+
+bool write_chrome_trace(const Tracer& tracer, const std::string& path) {
+  const std::string json = chrome_trace_json(tracer.snapshot());
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "wormtrace: could not write %s\n", path.c_str());
+    return false;
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  return true;
+}
+
+std::string format_trace_tail(const Tracer& tracer, std::size_t last_n) {
+  const std::vector<TraceEvent> events = tracer.snapshot(last_n);
+  if (events.empty()) return {};
+  std::ostringstream out;
+  out << "trace tail (last " << events.size() << " of " << tracer.recorded()
+      << " recorded):\n";
+  for (const TraceEvent& e : events) {
+    out << "  t=" << e.t << ' '
+        << track_name(TrackKey{trace_track_of(e.type), e.node, e.port})
+        << ' ' << trace_event_name(e.type);
+    if (e.worm != 0) out << " worm=" << e.worm;
+    out << " arg=" << e.arg << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace wormcast

@@ -1,0 +1,34 @@
+// Exporters for the wormtrace flight recorder.
+//
+// chrome_trace_json renders events as Chrome trace-event JSON: one thread
+// ("track") per switch port / channel / adapter / host, paired events
+// (worm head/tail, tx start/done, fragment open/close) as complete-event
+// spans, everything else as thread-scoped instants. The output loads
+// directly in Perfetto (ui.perfetto.dev) or chrome://tracing; byte-times
+// are written as microseconds, so 1 us on screen = 1 byte-time.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/trace.h"
+
+namespace wormcast {
+
+/// Renders an event stream (oldest first, e.g. Tracer::snapshot()) as a
+/// Chrome trace-event JSON document.
+[[nodiscard]] std::string chrome_trace_json(
+    const std::vector<TraceEvent>& events);
+
+/// Writes the tracer's ring as Chrome trace JSON. Returns false (and says
+/// why on stderr) when the file cannot be written.
+bool write_chrome_trace(const Tracer& tracer, const std::string& path);
+
+/// Human-readable dump of the last `last_n` ring events, one per line —
+/// what the deadlock watchdog appends to debug_report so a stalled run
+/// shows the decisions leading up to the wedge. Empty when nothing was
+/// recorded.
+[[nodiscard]] std::string format_trace_tail(const Tracer& tracer,
+                                            std::size_t last_n = 64);
+
+}  // namespace wormcast

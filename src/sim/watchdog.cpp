@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <utility>
 
+#include "sim/trace_export.h"
+
 namespace wormcast {
 
 DeadlockWatchdog::DeadlockWatchdog(Simulator& sim, Time check_interval,
@@ -28,6 +30,9 @@ void DeadlockWatchdog::check() {
     detection_time_ = sim_.now();
     if (diagnostics_) {
       report_ = diagnostics_();
+      // The flight recorder explains *how* the run wedged: append the last
+      // decisions (grants, holds, STOP/GO, timer fires) to the state dump.
+      report_ += format_trace_tail(sim_.tracer());
       std::fprintf(stderr, "wormcast watchdog: stall at t=%lld\n%s",
                    static_cast<long long>(detection_time_), report_.c_str());
     }

@@ -1,0 +1,76 @@
+// DedupWindow: the set and the eviction FIFO must describe the same keys
+// at every step, and the memory footprint must stay bounded by capacity.
+#include "core/dedup_window.h"
+
+#include <gtest/gtest.h>
+
+namespace wormcast {
+namespace {
+
+TEST(DedupWindow, InsertAndContains) {
+  DedupWindow w(4);
+  EXPECT_EQ(w.capacity(), 4u);
+  EXPECT_FALSE(w.contains(1));
+  EXPECT_TRUE(w.insert(1));
+  EXPECT_TRUE(w.contains(1));
+  EXPECT_FALSE(w.insert(1));  // duplicate: reports already-present
+  EXPECT_EQ(w.size(), 1u);
+  EXPECT_EQ(w.set_size(), 1u);
+}
+
+TEST(DedupWindow, AtCapacityNewKeyEvictsOldest) {
+  DedupWindow w(3);
+  for (std::uint64_t k = 1; k <= 3; ++k) EXPECT_TRUE(w.insert(k));
+  EXPECT_EQ(w.size(), 3u);
+  EXPECT_TRUE(w.insert(4));  // evicts 1
+  EXPECT_EQ(w.size(), 3u);
+  EXPECT_EQ(w.set_size(), 3u);
+  EXPECT_FALSE(w.contains(1));
+  EXPECT_TRUE(w.contains(2));
+  EXPECT_TRUE(w.contains(3));
+  EXPECT_TRUE(w.contains(4));
+}
+
+TEST(DedupWindow, ReInsertingExistingKeyDoesNotGrowOrEvict) {
+  DedupWindow w(2);
+  EXPECT_TRUE(w.insert(10));
+  EXPECT_TRUE(w.insert(20));
+  // 10 is already remembered: no FIFO entry is added, so nothing evicts.
+  EXPECT_FALSE(w.insert(10));
+  EXPECT_EQ(w.size(), 2u);
+  EXPECT_TRUE(w.contains(10));
+  EXPECT_TRUE(w.contains(20));
+}
+
+TEST(DedupWindow, EvictedKeyIsInsertableAgain) {
+  DedupWindow w(2);
+  w.insert(1);
+  w.insert(2);
+  w.insert(3);  // evicts 1
+  EXPECT_FALSE(w.contains(1));
+  EXPECT_TRUE(w.insert(1));  // forgotten, so it counts as new again
+  EXPECT_TRUE(w.contains(1));
+  EXPECT_FALSE(w.contains(2));  // 2 was the oldest and got evicted
+}
+
+TEST(DedupWindow, SetAndFifoStayCoherentUnderChurn) {
+  DedupWindow w(8);
+  for (std::uint64_t k = 0; k < 1000; ++k) {
+    w.insert(k % 13);  // mix of fresh inserts and duplicates
+    EXPECT_EQ(w.size(), w.set_size());
+    EXPECT_LE(w.size(), w.capacity());
+  }
+}
+
+TEST(DedupWindow, ZeroCapacityIsClampedToOne) {
+  DedupWindow w(0);
+  EXPECT_EQ(w.capacity(), 1u);
+  EXPECT_TRUE(w.insert(1));
+  EXPECT_TRUE(w.insert(2));  // evicts 1
+  EXPECT_EQ(w.size(), 1u);
+  EXPECT_FALSE(w.contains(1));
+  EXPECT_TRUE(w.contains(2));
+}
+
+}  // namespace
+}  // namespace wormcast

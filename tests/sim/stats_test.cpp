@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 namespace wormcast {
 namespace {
 
@@ -51,6 +53,40 @@ TEST(RunningStat, MergeWithEmptySides) {
   EXPECT_EQ(a.count(), 1);
 }
 
+TEST(RunningStat, MergeEmptyWithEmpty) {
+  RunningStat a;
+  RunningStat empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 0);
+  EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(a.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(a.min(), 0.0);
+  EXPECT_DOUBLE_EQ(a.max(), 0.0);
+}
+
+TEST(RunningStat, MergePreservesVarianceOnUnevenSplits) {
+  // Chan's parallel-variance update vs the single-pass reference, across
+  // splits where one side dominates (1/99, 10/90, 50/50).
+  const auto value = [](int i) {
+    return 100.0 + 17.0 * (i % 13) - 0.25 * i;  // non-trivial spread
+  };
+  for (const int cut : {1, 10, 50, 99}) {
+    RunningStat a;
+    RunningStat b;
+    RunningStat reference;
+    for (int i = 0; i < 100; ++i) {
+      (i < cut ? a : b).add(value(i));
+      reference.add(value(i));
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), reference.count()) << "cut=" << cut;
+    EXPECT_NEAR(a.mean(), reference.mean(), 1e-9) << "cut=" << cut;
+    EXPECT_NEAR(a.variance(), reference.variance(), 1e-9) << "cut=" << cut;
+    EXPECT_DOUBLE_EQ(a.min(), reference.min());
+    EXPECT_DOUBLE_EQ(a.max(), reference.max());
+  }
+}
+
 TEST(SampleSet, ExactPercentiles) {
   SampleSet s;
   for (int i = 1; i <= 100; ++i) s.add(static_cast<double>(i));
@@ -72,6 +108,32 @@ TEST(SampleSet, PercentileAfterInterleavedAdds) {
 TEST(SampleSet, EmptyPercentileIsZero) {
   SampleSet s;
   EXPECT_DOUBLE_EQ(s.percentile(50), 0.0);
+}
+
+TEST(SampleSet, PercentileClampsOutOfRangeP) {
+  SampleSet s;
+  for (int i = 1; i <= 10; ++i) s.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(s.percentile(-5.0), 1.0);     // below 0 -> min
+  EXPECT_DOUBLE_EQ(s.percentile(150.0), 10.0);   // above 100 -> max
+  EXPECT_DOUBLE_EQ(s.percentile(100.0), 10.0);   // exact top edge
+  SampleSet one;
+  one.add(42.0);
+  EXPECT_DOUBLE_EQ(one.percentile(1e9), 42.0);
+}
+
+TEST(SampleSet, SortedValuesAscendingAfterInterleavedAdds) {
+  SampleSet s;
+  s.add(3.0);
+  s.add(1.0);
+  const std::vector<double>& first = s.sorted_values();
+  EXPECT_EQ(first, (std::vector<double>{1.0, 3.0}));
+  // Repeated calls return the same cached vector (no re-sort, same storage).
+  EXPECT_EQ(&s.sorted_values(), &first);
+  s.add(2.0);  // invalidates the cache
+  EXPECT_EQ(s.sorted_values(), (std::vector<double>{1.0, 2.0, 3.0}));
+  // Stats are computed at add() time and unaffected by the in-place sort.
+  EXPECT_EQ(s.count(), 3);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 2.0);
 }
 
 TEST(RateMeter, RateOverWindow) {

@@ -60,6 +60,28 @@ TEST(DeadlockWatchdog, CapturesDiagnosticsAtDetection) {
   EXPECT_EQ(dog.report(), "host 0: tasks=1 pool_used=64\n");
 }
 
+TEST(DeadlockWatchdog, ReportIncludesTraceTailWhenTracerArmed) {
+  Simulator sim;
+  sim.tracer().enable(64);
+  sim.at(40, [&sim] {
+    WORMTRACE(sim, kArbGrant, 2, 1, 7, 0);
+    (void)sim;  // WORMTRACE compiles out under WORMCAST_TRACE=OFF
+  });
+  DeadlockWatchdog dog(
+      sim, 100, [] { return 1; }, [] {});
+  dog.set_diagnostics([] { return std::string("host state\n"); });
+  dog.arm();
+  sim.run_until(1000);
+  ASSERT_TRUE(dog.deadlock_detected());
+  EXPECT_NE(dog.report().find("host state"), std::string::npos);
+#ifndef WORMCAST_TRACE_DISABLED
+  // The flight-recorder tail rides along with the state dump.
+  EXPECT_NE(dog.report().find("trace tail (last 1 of 1 recorded):"),
+            std::string::npos);
+  EXPECT_NE(dog.report().find("arb.grant worm=7"), std::string::npos);
+#endif
+}
+
 TEST(DeadlockWatchdog, NoDiagnosticsWithoutStall) {
   Simulator sim;
   int dumps = 0;
