@@ -12,6 +12,11 @@
 // how long the drain — a permanent livelock. We report, per configuration:
 // runs that wedged, messages still undelivered at the horizon, and the
 // NACK/retry churn spent.
+//
+// Every (burst, classes, seed) run is an independent sweep point on a
+// SweepRunner pool (--jobs N); per-configuration outcomes merge in seed
+// order, and the diagnostic dump for a wedged configuration always comes
+// from its lowest wedged seed — deterministic at any job count.
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -26,6 +31,70 @@ using namespace wormcast;
 
 namespace {
 
+struct RunResult {
+  bool wedged = false;
+  std::int64_t undelivered = 0;
+  std::int64_t nacks = 0;
+  Time drain_time = 0;        // valid when !wedged
+  std::string wedge_report;   // debug report + trace tail when wedged
+};
+
+RunResult run_one(bool classes, int burst_per_member, int seed, Time horizon) {
+  RandomStream grng(7000 + seed);
+  auto groups = make_random_groups(6, 8, 16, grng);
+  ExperimentConfig cfg;
+  cfg.protocol.scheme = Scheme::kHamiltonianSF;
+  cfg.protocol.buffer_classes = classes;
+  // Two max-size worms of memory in both configurations; the ablation
+  // removes only the class discipline, not capacity.
+  cfg.protocol.pool_bytes = 1800;
+  cfg.protocol.retry_backoff = 1500;
+  cfg.protocol.retry_jitter = 1000;
+  cfg.traffic.offered_load = 1e-9;  // burst only
+  cfg.seed = static_cast<std::uint64_t>(seed);
+  Network net(make_torus(4, 4), groups, cfg);
+  // Flight recorder + watchdog: a wedged run (the classes-off livelock
+  // this bench exists to show) dumps per-host state AND the trace tail,
+  // so the stall explains *how* it happened, not just where it stands.
+  net.enable_tracing(8192);
+  bench::arm_watchdog(net, 400'000);
+
+  RandomStream lens(200 + static_cast<std::uint64_t>(seed));
+  for (const auto& g : groups) {
+    for (const HostId m : g.members) {
+      for (int i = 0; i < burst_per_member; ++i) {
+        const Time when = 1 + lens.uniform(0, 500);
+        const auto len = lens.geometric_length(400.0, 16);
+        net.sim().at(when, [&net, m, g = g.id, len] {
+          Demand d;
+          d.src = m;
+          d.multicast = true;
+          d.group = g;
+          d.length = std::min<std::int64_t>(len, 850);
+          net.inject(d);
+        });
+      }
+    }
+  }
+  net.run_until(horizon);
+  const auto s = net.summary();
+  RunResult r;
+  r.nacks = s.nacks;
+  if (s.outstanding > 0) {
+    // A wedged run explains itself: per-host state plus the recorder's
+    // last decisions. The NACK livelock keeps *events* flowing, so the
+    // stall watchdog stays quiet — capture at the horizon instead. The
+    // caller prints one report per configuration; the rest just count.
+    r.wedged = true;
+    r.undelivered = s.outstanding;
+    r.wedge_report =
+        net.debug_report() + format_trace_tail(net.sim().tracer());
+  } else {
+    r.drain_time = net.metrics().last_completion_time();
+  }
+  return r;
+}
+
 struct Outcome {
   int wedged_runs = 0;
   std::int64_t undelivered = 0;
@@ -34,68 +103,27 @@ struct Outcome {
   int completed_runs = 0;
 };
 
-Outcome run_cases(bool classes, int burst_per_member, int seeds, Time horizon) {
+/// Folds per-seed results in seed order; prints the first wedged seed's
+/// diagnostic dump (one per configuration is enough to diagnose).
+Outcome merge_seeds(const std::vector<RunResult>& runs, bool classes,
+                    int first_seed) {
   Outcome out;
-  for (int seed = 1; seed <= seeds; ++seed) {
-    RandomStream grng(7000 + seed);
-    auto groups = make_random_groups(6, 8, 16, grng);
-    ExperimentConfig cfg;
-    cfg.protocol.scheme = Scheme::kHamiltonianSF;
-    cfg.protocol.buffer_classes = classes;
-    // Two max-size worms of memory in both configurations; the ablation
-    // removes only the class discipline, not capacity.
-    cfg.protocol.pool_bytes = 1800;
-    cfg.protocol.retry_backoff = 1500;
-    cfg.protocol.retry_jitter = 1000;
-    cfg.traffic.offered_load = 1e-9;  // burst only
-    cfg.seed = static_cast<std::uint64_t>(seed);
-    Network net(make_torus(4, 4), groups, cfg);
-    // Flight recorder + watchdog: a wedged run (the classes-off livelock
-    // this bench exists to show) dumps per-host state AND the trace tail,
-    // so the stall explains *how* it happened, not just where it stands.
-    net.enable_tracing(8192);
-    bench::arm_watchdog(net, 400'000);
-
-    RandomStream lens(200 + static_cast<std::uint64_t>(seed));
-    for (const auto& g : groups) {
-      for (const HostId m : g.members) {
-        for (int i = 0; i < burst_per_member; ++i) {
-          const Time when = 1 + lens.uniform(0, 500);
-          const auto len = lens.geometric_length(400.0, 16);
-          net.sim().at(when, [&net, m, g = g.id, len] {
-            Demand d;
-            d.src = m;
-            d.multicast = true;
-            d.group = g;
-            d.length = std::min<std::int64_t>(len, 850);
-            net.inject(d);
-          });
-        }
-      }
-    }
-    net.run_until(horizon);
-    const auto s = net.summary();
-    if (s.outstanding > 0) {
-      // A wedged run explains itself: per-host state plus the recorder's
-      // last decisions. The NACK livelock keeps *events* flowing, so the
-      // stall watchdog stays quiet — dump at the horizon instead. One run
-      // per configuration is enough to diagnose; the rest just count.
-      if (out.wedged_runs == 0) {
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const RunResult& r = runs[i];
+    if (r.wedged) {
+      if (out.wedged_runs == 0)
         std::fprintf(stderr,
-                     "# wedged run (classes=%d seed=%d): %lld undelivered\n%s%s",
-                     classes ? 1 : 0, seed,
-                     static_cast<long long>(s.outstanding),
-                     net.debug_report().c_str(),
-                     format_trace_tail(net.sim().tracer()).c_str());
-      }
+                     "# wedged run (classes=%d seed=%d): %lld undelivered\n%s",
+                     classes ? 1 : 0, first_seed + static_cast<int>(i),
+                     static_cast<long long>(r.undelivered),
+                     r.wedge_report.c_str());
       ++out.wedged_runs;
-      out.undelivered += s.outstanding;
+      out.undelivered += r.undelivered;
     } else {
       ++out.completed_runs;
-      out.mean_drain_time +=
-          static_cast<double>(net.metrics().last_completion_time());
+      out.mean_drain_time += static_cast<double>(r.drain_time);
     }
-    out.nacks += s.nacks;
+    out.nacks += r.nacks;
   }
   if (out.completed_runs > 0) out.mean_drain_time /= out.completed_runs;
   return out;
@@ -104,9 +132,9 @@ Outcome run_cases(bool classes, int burst_per_member, int seeds, Time horizon) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
-  const int seeds = quick ? 2 : 5;
-  const Time horizon = quick ? 1'500'000 : 2'500'000;
+  const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
+  const int seeds = args.quick ? 2 : 5;
+  const Time horizon = args.quick ? 1'500'000 : 2'500'000;
   std::printf("# Ablation A: burst drain with the two-buffer-class rule "
               "on/off (equal memory; 6 groups x 8 members on 16 hosts; "
               "%d seeds)\n",
@@ -116,16 +144,51 @@ int main(int argc, char** argv) {
                        "on_drain_bt", "off_wedged_runs", "off_undelivered",
                        "off_nacks", "off_drain_bt"});
   const std::vector<int> bursts =
-      quick ? std::vector<int>{2} : std::vector<int>{1, 2, 4};
-  for (const int burst : bursts) {
-    const Outcome on = run_cases(true, burst, seeds, horizon);
-    const Outcome off = run_cases(false, burst, seeds, horizon);
-    std::printf("%d,%d,%lld,%lld,%.0f,%d,%lld,%lld,%.0f\n", burst,
+      args.quick ? std::vector<int>{2} : std::vector<int>{1, 2, 4};
+
+  // Task layout: for each burst intensity, `seeds` classes-on runs then
+  // `seeds` classes-off runs. Seeds are the historical 1..seeds.
+  const std::size_t per_cfg = static_cast<std::size_t>(seeds);
+  const std::size_t n_tasks = bursts.size() * 2 * per_cfg;
+  std::vector<RunResult> raw(n_tasks);
+  bench::JsonBench json("ablation_deadlock");
+  json.resize_rows(bursts.size());
+  const harness::WallTimer sweep;
+  harness::SweepRunner pool(args.jobs);
+  const auto walls = pool.run_indexed(n_tasks, [&](std::size_t i) {
+    const std::size_t cfg_idx = i / per_cfg;
+    const int seed = 1 + static_cast<int>(i % per_cfg);
+    const int burst = bursts[cfg_idx / 2];
+    const bool classes = (cfg_idx % 2) == 0;
+    raw[i] = run_one(classes, burst, seed, horizon);
+  });
+
+  for (std::size_t b = 0; b < bursts.size(); ++b) {
+    auto cfg_runs = [&](std::size_t cfg_idx) {
+      return std::vector<RunResult>(
+          raw.begin() + static_cast<std::ptrdiff_t>(cfg_idx * per_cfg),
+          raw.begin() + static_cast<std::ptrdiff_t>((cfg_idx + 1) * per_cfg));
+    };
+    const Outcome on = merge_seeds(cfg_runs(b * 2), true, 1);
+    const Outcome off = merge_seeds(cfg_runs(b * 2 + 1), false, 1);
+    std::printf("%d,%d,%lld,%lld,%.0f,%d,%lld,%lld,%.0f\n", bursts[b],
                 on.wedged_runs, static_cast<long long>(on.undelivered),
                 static_cast<long long>(on.nacks), on.mean_drain_time,
                 off.wedged_runs, static_cast<long long>(off.undelivered),
                 static_cast<long long>(off.nacks), off.mean_drain_time);
-    std::fflush(stdout);
+    json.set_row(b,
+                 {{"burst_per_member", static_cast<double>(bursts[b])},
+                  {"on_wedged_runs", static_cast<double>(on.wedged_runs)},
+                  {"on_undelivered", static_cast<double>(on.undelivered)},
+                  {"on_nacks", static_cast<double>(on.nacks)},
+                  {"on_drain_bt", on.mean_drain_time},
+                  {"off_wedged_runs", static_cast<double>(off.wedged_runs)},
+                  {"off_undelivered", static_cast<double>(off.undelivered)},
+                  {"off_nacks", static_cast<double>(off.nacks)},
+                  {"off_drain_bt", off.mean_drain_time}});
   }
+  std::fflush(stdout);
+  bench::stamp_sweep_meta(json, pool, walls, sweep);
+  json.write();
   return 0;
 }

@@ -3,17 +3,70 @@
 // Each bench binary regenerates one figure of the paper: it sweeps the
 // figure's x-axis, runs the simulator at each point, and prints the same
 // series the paper plots as CSV rows (plus a human-readable header).
+// Sweep points are independent simulations, so every bench accepts a
+// shared --jobs N flag and executes its points on a harness::SweepRunner
+// thread pool; results land in pre-sized slots, so the CSV/JSON rows are
+// bit-identical no matter how many workers ran them.
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "core/network.h"
+#include "harness/sweep_runner.h"
 
 namespace wormcast::bench {
+
+/// Command-line arguments shared by the sweep benches.
+///
+///   --quick           small sweep for CI smoke tests
+///   --jobs N          worker threads for sweep points (default 1)
+///   --reps N          replications (seeds) per sweep point, merged with
+///                     RunningStat::merge (benches that support it)
+///   --trace-cap N     flight-recorder ring capacity in events (benches
+///                     that trace; default Tracer::kDefaultCapacity)
+///   --trace-out FILE  export Chrome trace-event JSON (benches that trace)
+struct BenchArgs {
+  bool quick = false;
+  int jobs = 1;
+  int reps = 1;
+  std::size_t trace_cap = Tracer::kDefaultCapacity;
+  std::string trace_out;
+};
+
+/// Parses the shared flags; prints usage and exits(2) on anything else.
+inline BenchArgs parse_bench_args(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      args.quick = true;
+    } else if (arg == "--jobs" && i + 1 < argc) {
+      args.jobs = std::atoi(argv[++i]);
+      if (args.jobs < 1) args.jobs = 1;
+    } else if (arg == "--reps" && i + 1 < argc) {
+      args.reps = std::atoi(argv[++i]);
+      if (args.reps < 1) args.reps = 1;
+    } else if (arg == "--trace-cap" && i + 1 < argc) {
+      const long long cap = std::atoll(argv[++i]);
+      if (cap > 0) args.trace_cap = static_cast<std::size_t>(cap);
+    } else if (arg == "--trace-out" && i + 1 < argc) {
+      args.trace_out = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--quick] [--jobs N] [--reps N] "
+                   "[--trace-cap N] [--trace-out <file.trace.json>]\n",
+                   argv[0]);
+      std::exit(2);
+    }
+  }
+  return args;
+}
 
 /// Prints a CSV header line: x_name,series1,series2,...
 inline void print_header(const std::string& x_name,
@@ -59,22 +112,62 @@ inline std::optional<double> opt(double v, bool has) {
 /// a machine-readable mirror of the CSV stdout so CI and plotting scripts
 /// need not parse the human-oriented format. A nullopt cell serializes as
 /// JSON null (a statistic over zero samples is not a measurement).
+///
+/// Thread safety: rows live in pre-sized slots (resize_rows + set_row), so
+/// parallel sweep workers each write their own slot under the mutex and
+/// the serialized row order is the sweep order, never completion order.
+/// Wall-clock measurements go in the "meta" object — NOT in rows — so the
+/// rows stay bit-identical across --jobs values (CI gates on this).
 class JsonBench {
  public:
+  using Row = std::vector<std::pair<std::string, std::optional<double>>>;
+
   explicit JsonBench(std::string name) : name_(std::move(name)) {}
 
-  void add_row(std::vector<std::pair<std::string, std::optional<double>>> kv) {
+  /// Pre-sizes the row slots for a sweep of `n` points.
+  void resize_rows(std::size_t n) {
+    std::lock_guard<std::mutex> lock(mu_);
+    rows_.resize(n);
+  }
+
+  /// Stores point `i`'s row into its slot (race-free across workers).
+  void set_row(std::size_t i, Row kv) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (i >= rows_.size()) rows_.resize(i + 1);
+    rows_[i] = std::move(kv);
+  }
+
+  /// Appends a row (sequential emitters; takes the same lock).
+  void add_row(Row kv) {
+    std::lock_guard<std::mutex> lock(mu_);
     rows_.push_back(std::move(kv));
   }
 
   /// Attaches a uniform counter dump (see CounterRegistry::snapshot()),
   /// serialized once as a top-level "counters" object.
   void set_counters(std::vector<std::pair<std::string, double>> counters) {
+    std::lock_guard<std::mutex> lock(mu_);
     counters_ = std::move(counters);
+  }
+
+  /// Run metadata (jobs, sweep wall-clock, ...): serialized as a
+  /// top-level "meta" object, deliberately outside "rows" because wall
+  /// times differ run to run while rows must not.
+  void set_meta(const std::string& key, double value) {
+    std::lock_guard<std::mutex> lock(mu_);
+    meta_.emplace_back(key, value);
+  }
+
+  /// Per-point wall-clock (ms), indexed like rows; lands in meta as
+  /// "point_wall_ms": [...].
+  void set_point_walls(std::vector<double> wall_ms) {
+    std::lock_guard<std::mutex> lock(mu_);
+    point_wall_ms_ = std::move(wall_ms);
   }
 
   /// Writes BENCH_<name>.json in the current directory.
   void write() const {
+    std::lock_guard<std::mutex> lock(mu_);
     const std::string path = "BENCH_" + name_ + ".json";
     std::FILE* f = std::fopen(path.c_str(), "w");
     if (f == nullptr) {
@@ -102,6 +195,22 @@ class JsonBench {
                      counters_[i].first.c_str(), counters_[i].second);
       std::fprintf(f, "}");
     }
+    if (!meta_.empty() || !point_wall_ms_.empty()) {
+      std::fprintf(f, ", \"meta\": {");
+      bool first = true;
+      for (const auto& [key, value] : meta_) {
+        std::fprintf(f, "%s\"%s\": %.6g", first ? "" : ", ", key.c_str(),
+                     value);
+        first = false;
+      }
+      if (!point_wall_ms_.empty()) {
+        std::fprintf(f, "%s\"point_wall_ms\": [", first ? "" : ", ");
+        for (std::size_t i = 0; i < point_wall_ms_.size(); ++i)
+          std::fprintf(f, "%s%.6g", i == 0 ? "" : ", ", point_wall_ms_[i]);
+        std::fprintf(f, "]");
+      }
+      std::fprintf(f, "}");
+    }
     std::fprintf(f, "}\n");
     std::fclose(f);
     std::fprintf(stderr, "# wrote %s\n", path.c_str());
@@ -109,8 +218,22 @@ class JsonBench {
 
  private:
   std::string name_;
-  std::vector<std::vector<std::pair<std::string, std::optional<double>>>> rows_;
+  mutable std::mutex mu_;
+  std::vector<Row> rows_;
   std::vector<std::pair<std::string, double>> counters_;
+  std::vector<std::pair<std::string, double>> meta_;
+  std::vector<double> point_wall_ms_;
 };
+
+/// Stamps the standard sweep metadata on a bench's JSON: worker count,
+/// per-point wall-clock, and total sweep wall-clock, so BENCH_*.json
+/// tracks the multi-core scaling win over time.
+inline void stamp_sweep_meta(JsonBench& json, const harness::SweepRunner& pool,
+                             const std::vector<double>& point_wall_ms,
+                             const harness::WallTimer& sweep) {
+  json.set_meta("jobs", static_cast<double>(pool.jobs()));
+  json.set_point_walls(point_wall_ms);
+  json.set_meta("sweep_wall_ms", sweep.elapsed_ms());
+}
 
 }  // namespace wormcast::bench

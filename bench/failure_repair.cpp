@@ -10,8 +10,10 @@
 // detector cannot accuse before the timeout matures), while rerouted
 // sends and disrupted messages stay flat — they depend on what was in
 // flight at the crash, not on how long detection took.
+//
+// Sweep points (timeout x scheme x replication) run on a SweepRunner pool
+// (--jobs N); --reps N merges N seeds per point with RunningStat::merge.
 #include <cstdio>
-#include <string>
 #include <vector>
 
 #include "bench_util.h"
@@ -20,6 +22,8 @@
 using namespace wormcast;
 
 namespace {
+
+constexpr std::uint64_t kBaseSeed = 11;
 
 struct Point {
   double repair_latency = 0.0;  // crash -> structures healed (byte-times)
@@ -63,47 +67,107 @@ Point run_crash(Scheme scheme, Time suspicion, Time measure,
   return p;
 }
 
+/// Replication-merged view of one sweep point (merge order = rep order).
+struct Merged {
+  RunningStat repair_latency;  // over the replications that detected
+  RunningStat rerouted;
+  RunningStat disrupted;
+  RunningStat delivered;
+};
+
+Merged merge_reps(const std::vector<Point>& reps) {
+  Merged m;
+  for (const Point& p : reps) {
+    RunningStat rerouted, disrupted, delivered;
+    rerouted.add(p.rerouted);
+    disrupted.add(p.disrupted);
+    delivered.add(p.delivered);
+    m.rerouted.merge(rerouted);
+    m.disrupted.merge(disrupted);
+    m.delivered.merge(delivered);
+    if (p.detected) {
+      RunningStat latency;
+      latency.add(p.repair_latency);
+      m.repair_latency.merge(latency);
+    }
+  }
+  return m;
+}
+
+/// CSV keeps the historical -1 sentinel when no replication detected.
+double latency_or_sentinel(const Merged& m) {
+  return m.repair_latency.count() > 0 ? m.repair_latency.mean() : -1.0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
-  const Time measure = quick ? 300'000 : 1'000'000;
+  const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
+  const Time measure = args.quick ? 300'000 : 1'000'000;
 
   std::printf("# Silent crash-stop repair on the 8-host testbed: detection + "
               "repair latency vs suspicion timeout\n");
   std::printf("# (host 3 crashes mid-run; ack_timeout=10k, max_attempts=10; "
-              "latency in byte-times)\n");
+              "latency in byte-times; %d rep(s)/point)\n", args.reps);
   bench::print_header("suspicion_timeout",
                       {"circuit_repair_latency", "circuit_rerouted",
                        "circuit_disrupted", "circuit_delivered",
                        "tree_repair_latency", "tree_rerouted",
                        "tree_disrupted", "tree_delivered"});
   const std::vector<Time> timeouts =
-      quick ? std::vector<Time>{60'000}
-            : std::vector<Time>{30'000, 60'000, 120'000};
+      args.quick ? std::vector<Time>{60'000}
+                 : std::vector<Time>{30'000, 60'000, 120'000};
+
+  const std::size_t reps = static_cast<std::size_t>(args.reps);
+  const std::size_t n_points = timeouts.size() * 2;
+  const std::size_t n_tasks = n_points * reps;
+  std::vector<Point> raw(n_tasks);
   bench::JsonBench json("failure_repair");
-  for (const Time suspicion : timeouts) {
-    const Point circuit =
-        run_crash(Scheme::kHamiltonianSF, suspicion, measure, 11);
-    const Point tree = run_crash(Scheme::kTreeSF, suspicion, measure, 11);
+  json.resize_rows(timeouts.size());
+  const harness::WallTimer sweep;
+  harness::SweepRunner pool(args.jobs);
+  const auto walls = pool.run_indexed(n_tasks, [&](std::size_t i) {
+    const std::size_t point = i / reps;
+    const std::size_t rep = i % reps;
+    const Time suspicion = timeouts[point / 2];
+    const Scheme scheme =
+        (point % 2) == 0 ? Scheme::kHamiltonianSF : Scheme::kTreeSF;
+    raw[i] = run_crash(scheme, suspicion, measure,
+                       harness::point_seed(kBaseSeed, rep));
+  });
+
+  for (std::size_t t = 0; t < timeouts.size(); ++t) {
+    auto reps_of = [&](std::size_t point) {
+      return std::vector<Point>(
+          raw.begin() + static_cast<std::ptrdiff_t>(point * reps),
+          raw.begin() + static_cast<std::ptrdiff_t>((point + 1) * reps));
+    };
+    const Merged circuit = merge_reps(reps_of(t * 2));
+    const Merged tree = merge_reps(reps_of(t * 2 + 1));
     std::printf("%lld,%.0f,%.0f,%.0f,%.4f,%.0f,%.0f,%.0f,%.4f\n",
-                static_cast<long long>(suspicion), circuit.repair_latency,
-                circuit.rerouted, circuit.disrupted, circuit.delivered,
-                tree.repair_latency, tree.rerouted, tree.disrupted,
-                tree.delivered);
-    std::fflush(stdout);
-    json.add_row(
-        {{"suspicion_timeout", static_cast<double>(suspicion)},
-         {"circuit_repair_latency",
-          bench::opt(circuit.repair_latency, circuit.detected)},
-         {"circuit_rerouted", circuit.rerouted},
-         {"circuit_disrupted", circuit.disrupted},
-         {"circuit_delivered", circuit.delivered},
-         {"tree_repair_latency", bench::opt(tree.repair_latency, tree.detected)},
-         {"tree_rerouted", tree.rerouted},
-         {"tree_disrupted", tree.disrupted},
-         {"tree_delivered", tree.delivered}});
+                static_cast<long long>(timeouts[t]),
+                latency_or_sentinel(circuit), circuit.rerouted.mean(),
+                circuit.disrupted.mean(), circuit.delivered.mean(),
+                latency_or_sentinel(tree), tree.rerouted.mean(),
+                tree.disrupted.mean(), tree.delivered.mean());
+    json.set_row(
+        t, {{"suspicion_timeout", static_cast<double>(timeouts[t])},
+            {"circuit_repair_latency",
+             bench::opt(circuit.repair_latency.mean(),
+                        circuit.repair_latency.count() > 0)},
+            {"circuit_rerouted", circuit.rerouted.mean()},
+            {"circuit_disrupted", circuit.disrupted.mean()},
+            {"circuit_delivered", circuit.delivered.mean()},
+            {"tree_repair_latency",
+             bench::opt(tree.repair_latency.mean(),
+                        tree.repair_latency.count() > 0)},
+            {"tree_rerouted", tree.rerouted.mean()},
+            {"tree_disrupted", tree.disrupted.mean()},
+            {"tree_delivered", tree.delivered.mean()}});
   }
+  std::fflush(stdout);
+  bench::stamp_sweep_meta(json, pool, walls, sweep);
+  json.set_meta("reps", static_cast<double>(args.reps));
   json.write();
   return 0;
 }

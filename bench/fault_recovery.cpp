@@ -8,8 +8,12 @@
 // and decays monotonically as loss grows (retry budget exhaustion), while
 // p99 per-destination latency climbs as more deliveries need one or more
 // timeout+retransmit rounds.
+//
+// Sweep points (loss rate x scheme x replication) run on a SweepRunner
+// pool (--jobs N). --reps N runs N independent seeds per point
+// (harness::point_seed-derived) and merges them with RunningStat::merge in
+// replication order, so the reported means are identical at any job count.
 #include <cstdio>
-#include <string>
 #include <vector>
 
 #include "bench_util.h"
@@ -18,6 +22,8 @@
 using namespace wormcast;
 
 namespace {
+
+constexpr std::uint64_t kBaseSeed = 7;
 
 struct Point {
   double delivered = 0.0;  // completed / created
@@ -53,38 +59,93 @@ Point run_lossy(Scheme scheme, double loss, Time measure, std::uint64_t seed) {
   return p;
 }
 
+/// Replication-merged view of one sweep point. Merge order is replication
+/// order (RunningStat::merge is sequential after the sweep completes), so
+/// the means are a pure function of (point, reps) — never of scheduling.
+struct Merged {
+  RunningStat delivered;
+  RunningStat p99;  // over the replications that sampled a delivery
+  RunningStat retx;
+};
+
+Merged merge_reps(const std::vector<Point>& reps) {
+  Merged m;
+  for (const Point& p : reps) {
+    RunningStat delivered, p99, retx;
+    delivered.add(p.delivered);
+    retx.add(p.retx_per_msg);
+    m.delivered.merge(delivered);
+    m.retx.merge(retx);
+    if (p.has_p99) {
+      p99.add(p.p99);
+      m.p99.merge(p99);
+    }
+  }
+  return m;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
-  const Time measure = quick ? 200'000 : 1'500'000;
+  const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
+  const Time measure = args.quick ? 200'000 : 1'500'000;
 
   std::printf("# Loss recovery on the 8-host testbed: delivered fraction and "
               "p99 latency vs per-link fault rate\n");
   std::printf("# (worm kill + ctrl loss at equal rates; ack_timeout=20k, "
-              "max_attempts=8)\n");
+              "max_attempts=8; %d rep(s)/point)\n", args.reps);
   bench::print_header("loss_rate",
                       {"circuit_delivered", "circuit_p99", "circuit_retx",
                        "tree_delivered", "tree_p99", "tree_retx"});
   const std::vector<double> rates =
-      quick ? std::vector<double>{0.0, 0.05, 0.10}
-            : std::vector<double>{0.0, 0.01, 0.02, 0.05, 0.10, 0.15};
+      args.quick ? std::vector<double>{0.0, 0.05, 0.10}
+                 : std::vector<double>{0.0, 0.01, 0.02, 0.05, 0.10, 0.15};
+
+  // Flattened task list: (rate, scheme, replication). Rep r of every point
+  // uses harness::point_seed(kBaseSeed, r) — rep 0 is the historical
+  // single-seed run, so --reps 1 output matches the pre-replication bench.
+  const std::size_t reps = static_cast<std::size_t>(args.reps);
+  const std::size_t n_points = rates.size() * 2;
+  const std::size_t n_tasks = n_points * reps;
+  std::vector<Point> raw(n_tasks);
   bench::JsonBench json("fault_recovery");
-  for (const double rate : rates) {
-    const Point circuit = run_lossy(Scheme::kHamiltonianSF, rate, measure, 7);
-    const Point tree = run_lossy(Scheme::kTreeSF, rate, measure, 7);
-    std::printf("%.2f,%.4f,%.0f,%.2f,%.4f,%.0f,%.2f\n", rate,
-                circuit.delivered, circuit.p99, circuit.retx_per_msg,
-                tree.delivered, tree.p99, tree.retx_per_msg);
-    std::fflush(stdout);
-    json.add_row({{"loss_rate", rate},
-                  {"circuit_delivered", circuit.delivered},
-                  {"circuit_p99", bench::opt(circuit.p99, circuit.has_p99)},
-                  {"circuit_retx", circuit.retx_per_msg},
-                  {"tree_delivered", tree.delivered},
-                  {"tree_p99", bench::opt(tree.p99, tree.has_p99)},
-                  {"tree_retx", tree.retx_per_msg}});
+  json.resize_rows(rates.size());
+  const harness::WallTimer sweep;
+  harness::SweepRunner pool(args.jobs);
+  const auto walls = pool.run_indexed(n_tasks, [&](std::size_t i) {
+    const std::size_t point = i / reps;
+    const std::size_t rep = i % reps;
+    const double rate = rates[point / 2];
+    const Scheme scheme =
+        (point % 2) == 0 ? Scheme::kHamiltonianSF : Scheme::kTreeSF;
+    raw[i] = run_lossy(scheme, rate, measure,
+                       harness::point_seed(kBaseSeed, rep));
+  });
+
+  for (std::size_t r = 0; r < rates.size(); ++r) {
+    auto reps_of = [&](std::size_t point) {
+      return std::vector<Point>(raw.begin() + static_cast<std::ptrdiff_t>(point * reps),
+                                raw.begin() + static_cast<std::ptrdiff_t>((point + 1) * reps));
+    };
+    const Merged circuit = merge_reps(reps_of(r * 2));
+    const Merged tree = merge_reps(reps_of(r * 2 + 1));
+    std::printf("%.2f,%.4f,%.0f,%.2f,%.4f,%.0f,%.2f\n", rates[r],
+                circuit.delivered.mean(), circuit.p99.mean(),
+                circuit.retx.mean(), tree.delivered.mean(), tree.p99.mean(),
+                tree.retx.mean());
+    json.set_row(
+        r, {{"loss_rate", rates[r]},
+            {"circuit_delivered", circuit.delivered.mean()},
+            {"circuit_p99",
+             bench::opt(circuit.p99.mean(), circuit.p99.count() > 0)},
+            {"circuit_retx", circuit.retx.mean()},
+            {"tree_delivered", tree.delivered.mean()},
+            {"tree_p99", bench::opt(tree.p99.mean(), tree.p99.count() > 0)},
+            {"tree_retx", tree.retx.mean()}});
   }
+  std::fflush(stdout);
+  bench::stamp_sweep_meta(json, pool, walls, sweep);
+  json.set_meta("reps", static_cast<double>(args.reps));
   json.write();
   return 0;
 }

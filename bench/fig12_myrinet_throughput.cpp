@@ -8,8 +8,12 @@
 // amortizes — roughly 20 Mb/s at 1 KB to ~120 Mb/s at 8 KB for the single
 // sender; the all-send curve sits below it, and the gap widens as input-
 // buffer losses grow (Figure 13). No loss occurs in the single-sender case.
+//
+// The sweep runs (packet size, sender mode) points on a SweepRunner pool
+// (--jobs N); each point is an independent Network, and the CSV/JSON rows
+// are bit-identical at any job count (the CI determinism gate diffs
+// --jobs 1 against --jobs 4).
 #include <cstdio>
-#include <string>
 #include <vector>
 
 #include "bench_util.h"
@@ -18,42 +22,50 @@
 using namespace wormcast;
 
 int main(int argc, char** argv) {
-  bool quick = false;
-  std::string trace_out;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--quick") {
-      quick = true;
-    } else if (arg == "--trace-out" && i + 1 < argc) {
-      trace_out = argv[++i];
-    } else {
-      std::fprintf(stderr,
-                   "usage: %s [--quick] [--trace-out <file.trace.json>]\n",
-                   argv[0]);
-      return 2;
-    }
-  }
-  const Time span = quick ? 3'000'000 : 12'000'000;
+  const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
+  const Time span = args.quick ? 3'000'000 : 12'000'000;
 
   std::printf("# Figure 12: per-host throughput (Mb/s) vs packet size, "
               "8-host Hamiltonian circuit on 4-switch Myrinet\n");
   bench::print_header("packet_bytes", {"single_sender", "all_send_receive"});
   const std::vector<std::int64_t> sizes =
-      quick ? std::vector<std::int64_t>{1024, 4096, 8192}
-            : std::vector<std::int64_t>{1024, 2048, 3072, 4096, 5120,
-                                        6144, 7168, 8192};
-  bool first = true;
-  for (const std::int64_t size : sizes) {
+      args.quick ? std::vector<std::int64_t>{1024, 4096, 8192}
+                 : std::vector<std::int64_t>{1024, 2048, 3072, 4096, 5120,
+                                             6144, 7168, 8192};
+
+  // One sweep point per (size, mode): twice the parallel width of a
+  // per-size point, and the single/all runs of one size need not wait on
+  // each other. Even index = single sender, odd = all-send.
+  const std::size_t n_points = sizes.size() * 2;
+  bench::JsonBench json("fig12_myrinet_throughput");
+  json.resize_rows(sizes.size());
+  const harness::WallTimer sweep;
+  harness::SweepRunner pool(args.jobs);
+  std::vector<bench::TestbedResult> results(n_points);
+  const auto walls = pool.run_indexed(n_points, [&](std::size_t i) {
+    const std::int64_t size = sizes[i / 2];
+    const bool single = (i % 2) == 0;
     // --trace-out captures the first-size single-sender run: small enough
     // to load in Perfetto, yet it exercises every layer end to end.
-    const auto single = bench::run_testbed(1, size, span, /*burst=*/true,
-                                           /*tracing=*/false,
-                                           first ? trace_out : std::string());
-    first = false;
-    const auto all = bench::run_testbed(8, size, span);
-    std::printf("%lld,%.1f,%.1f\n", static_cast<long long>(size),
+    const bool traced = single && i == 0 && !args.trace_out.empty();
+    results[i] = bench::run_testbed(single ? 1 : 8, size, span,
+                                    /*burst=*/true, /*tracing=*/false,
+                                    traced ? args.trace_out : std::string(),
+                                    args.trace_cap);
+  });
+
+  for (std::size_t s = 0; s < sizes.size(); ++s) {
+    const auto& single = results[s * 2];
+    const auto& all = results[s * 2 + 1];
+    std::printf("%lld,%.1f,%.1f\n", static_cast<long long>(sizes[s]),
                 single.throughput_mbps, all.throughput_mbps);
-    std::fflush(stdout);
+    json.set_row(s, {{"packet_bytes", static_cast<double>(sizes[s])},
+                     {"single_sender", single.throughput_mbps},
+                     {"all_send_receive", all.throughput_mbps},
+                     {"all_send_loss_rate", all.loss_rate}});
   }
+  std::fflush(stdout);
+  bench::stamp_sweep_meta(json, pool, walls, sweep);
+  json.write();
   return 0;
 }

@@ -46,11 +46,16 @@ struct TestbedResult {
 /// `burst_channels` toggles the channel burst fast path (results are
 /// identical either way; the hot-path bench times both). With `tracing`
 /// on (or a non-empty `trace_out`) the flight recorder runs for the whole
-/// span; `trace_out` additionally exports Chrome trace-event JSON.
+/// span with a ring of `trace_cap` events (--trace-cap; the default ring
+/// drops tens of thousands of events on a full fig12 run — size it to the
+/// span when the whole flight history matters); `trace_out` additionally
+/// exports Chrome trace-event JSON.
 inline TestbedResult run_testbed(int senders, std::int64_t packet_size,
                                  Time span, bool burst_channels = true,
                                  bool tracing = false,
-                                 const std::string& trace_out = {}) {
+                                 const std::string& trace_out = {},
+                                 std::size_t trace_cap =
+                                     Tracer::kDefaultCapacity) {
   ExperimentConfig cfg;
   cfg.fabric.burst_channels = burst_channels;
   cfg.protocol.scheme = Scheme::kHamiltonianSF;
@@ -65,7 +70,7 @@ inline TestbedResult run_testbed(int senders, std::int64_t packet_size,
 
   auto group = make_full_group(8);
   Network net(make_myrinet_testbed(), {group}, cfg);
-  if (tracing || !trace_out.empty()) net.enable_tracing();
+  if (tracing || !trace_out.empty()) net.enable_tracing(trace_cap);
 
   // Saturating applications: top up each sender whenever its adapter's
   // transmit queue has drained ("sent as many packets as possible").

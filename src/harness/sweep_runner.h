@@ -1,0 +1,96 @@
+// Parallel sweep execution: run independent simulation points across a
+// fixed-size thread pool with deterministic, order-stable results.
+//
+// Every experiment in the paper is a *sweep* — Figure 12 walks packet
+// sizes, the fault-recovery bench walks loss rates, the deadlock ablation
+// walks burst intensities — and the points share nothing at runtime: each
+// builds its own Network/Simulator/RandomStream. That independence is the
+// classic "independent replications" parallelism of discrete-event studies
+// (Fujimoto, CACM 1990): farm whole runs out to cores rather than trying
+// to parallelize inside one run.
+//
+// Determinism contract:
+//   * Point i's result lands in pre-sized slot i; output order never
+//     depends on completion order or on the number of workers.
+//   * Each point derives its own seed via point_seed(base, i), so the
+//     simulation a point runs is a pure function of (config, base seed, i)
+//     — bit-identical at --jobs 1 and --jobs 64 (CI gates on this).
+//   * Replication merges (RunningStat::merge) are applied sequentially in
+//     replication order after all workers finish, so floating-point
+//     accumulation order is fixed too.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/stats.h"
+
+namespace wormcast::harness {
+
+/// Seed for sweep point `index`, derived from the experiment's base seed
+/// (splitmix-style, via RandomStream::seed_mix). Index 0 keeps the base
+/// seed itself so a one-point sweep reproduces the unswept experiment.
+[[nodiscard]] std::uint64_t point_seed(std::uint64_t base_seed,
+                                       std::uint64_t index);
+
+class SweepRunner {
+ public:
+  /// `jobs` worker threads; clamped to >= 1. 1 means run inline on the
+  /// calling thread (no pool, exactly the pre-parallel behavior).
+  explicit SweepRunner(int jobs);
+
+  [[nodiscard]] int jobs() const { return jobs_; }
+
+  /// Executes fn(0), ..., fn(n-1) across the pool (an atomic cursor hands
+  /// out indices; at most min(jobs, n) threads run at once). Blocks until
+  /// every point finishes. Returns each point's wall-clock in milliseconds,
+  /// indexed by point. The first exception a point throws is rethrown here
+  /// after all workers have stopped.
+  std::vector<double> run_indexed(std::size_t n,
+                                  const std::function<void(std::size_t)>& fn);
+
+  /// Typed convenience over run_indexed: collects fn's return values into
+  /// pre-sized slots so results[i] is point i's result regardless of which
+  /// worker ran it. R must be default-constructible.
+  template <typename R>
+  std::vector<R> map(std::size_t n,
+                     const std::function<R(std::size_t)>& fn,
+                     std::vector<double>* point_wall_ms = nullptr) {
+    std::vector<R> results(n);
+    auto walls = run_indexed(n, [&](std::size_t i) { results[i] = fn(i); });
+    if (point_wall_ms != nullptr) *point_wall_ms = std::move(walls);
+    return results;
+  }
+
+  /// Replication mode: runs `reps` independent replications of one
+  /// experiment point, each seeded with point_seed(base_seed, rep), and
+  /// merges the per-replication statistic vectors slot-wise with
+  /// RunningStat::merge — in replication order, after all replications
+  /// complete, so the merged moments are identical at any --jobs. `fn`
+  /// must return the same number of stats for every replication.
+  std::vector<RunningStat> replicate(
+      std::uint64_t base_seed, int reps,
+      const std::function<std::vector<RunningStat>(std::uint64_t seed,
+                                                   int rep)>& fn);
+
+ private:
+  int jobs_ = 1;
+};
+
+/// Wall-clock stopwatch for sweep totals (what JsonBench::set_meta wants).
+class WallTimer {
+ public:
+  WallTimer() : t0_(std::chrono::steady_clock::now()) {}
+  [[nodiscard]] double elapsed_ms() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - t0_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point t0_;
+};
+
+}  // namespace wormcast::harness

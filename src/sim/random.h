@@ -69,8 +69,14 @@ class RandomStream {
 
   std::mt19937_64& engine() { return engine_; }
 
- private:
+  /// Splitmix-style seed derivation: an independent, well-mixed seed that
+  /// is a pure function of (a, b). Components fork per-entity streams with
+  /// it, and the sweep harness derives per-point seeds from the experiment
+  /// base seed (harness::point_seed) so parallel sweep points never share
+  /// or perturb each other's randomness.
   static std::uint64_t seed_mix(std::uint64_t a, std::uint64_t b);
+
+ private:
   [[nodiscard]] std::uint64_t keyed_hash(std::uint64_t k1, std::uint64_t k2,
                                          std::uint64_t k3) const;
 
