@@ -39,7 +39,9 @@ struct RunResult {
   std::string wedge_report;   // debug report + trace tail when wedged
 };
 
-RunResult run_one(bool classes, int burst_per_member, int seed, Time horizon) {
+RunResult run_one(bool classes, int burst_per_member, int seed, Time horizon,
+                  std::size_t trace_cap, bench::CheckCollector& checks,
+                  std::size_t slot, std::string label) {
   RandomStream grng(7000 + seed);
   auto groups = make_random_groups(6, 8, 16, grng);
   ExperimentConfig cfg;
@@ -56,7 +58,9 @@ RunResult run_one(bool classes, int burst_per_member, int seed, Time horizon) {
   // Flight recorder + watchdog: a wedged run (the classes-off livelock
   // this bench exists to show) dumps per-host state AND the trace tail,
   // so the stall explains *how* it happened, not just where it stands.
-  net.enable_tracing(8192);
+  // Under --check the ring must hold the whole run (a wrapped ring makes
+  // the checker refuse), so it takes the checking capacity instead.
+  net.enable_tracing(checks.enabled() ? trace_cap : 8192);
   bench::arm_watchdog(net, 400'000);
 
   RandomStream lens(200 + static_cast<std::uint64_t>(seed));
@@ -77,6 +81,7 @@ RunResult run_one(bool classes, int burst_per_member, int seed, Time horizon) {
     }
   }
   net.run_until(horizon);
+  checks.collect(slot, net, std::move(label));
   const auto s = net.summary();
   RunResult r;
   r.nacks = s.nacks;
@@ -153,6 +158,8 @@ int main(int argc, char** argv) {
   std::vector<RunResult> raw(n_tasks);
   bench::JsonBench json("ablation_deadlock");
   json.resize_rows(bursts.size());
+  bench::CheckCollector checks(args.check);
+  checks.resize(n_tasks);
   const harness::WallTimer sweep;
   harness::SweepRunner pool(args.jobs);
   const auto walls = pool.run_indexed(n_tasks, [&](std::size_t i) {
@@ -160,7 +167,11 @@ int main(int argc, char** argv) {
     const int seed = 1 + static_cast<int>(i % per_cfg);
     const int burst = bursts[cfg_idx / 2];
     const bool classes = (cfg_idx % 2) == 0;
-    raw[i] = run_one(classes, burst, seed, horizon);
+    char label[64];
+    std::snprintf(label, sizeof label, "burst=%d classes=%s seed=%d", burst,
+                  classes ? "on" : "off", seed);
+    raw[i] = run_one(classes, burst, seed, horizon, args.trace_cap, checks, i,
+                     label);
   });
 
   for (std::size_t b = 0; b < bursts.size(); ++b) {
@@ -189,6 +200,7 @@ int main(int argc, char** argv) {
   }
   std::fflush(stdout);
   bench::stamp_sweep_meta(json, pool, walls, sweep);
+  const int check_rc = checks.finalize(&json);
   json.write();
-  return 0;
+  return check_rc;
 }

@@ -31,13 +31,27 @@ namespace wormcast::bench {
 ///   --trace-cap N     flight-recorder ring capacity in events (benches
 ///                     that trace; default Tracer::kDefaultCapacity)
 ///   --trace-out FILE  export Chrome trace-event JSON (benches that trace)
+///   --check           run wormcheck protocol expectations over every sweep
+///                     point's trace; any violation (or checker refusal)
+///                     fails the run with exit 1 and a deterministic report
 struct BenchArgs {
   bool quick = false;
+  bool check = false;
   int jobs = 1;
   int reps = 1;
   std::size_t trace_cap = Tracer::kDefaultCapacity;
+  /// True when --trace-cap was passed: --check then respects the user's
+  /// capacity (and refuses loudly if the ring wraps) instead of auto-sizing.
+  bool trace_cap_explicit = false;
   std::string trace_out;
 };
+
+/// Ring capacity --check auto-sizes to when --trace-cap is not given:
+/// large enough that no standard sweep point wraps (a wrapped ring makes
+/// the checker refuse — absence of evidence is not evidence). The busiest
+/// standard point (full fig12, 8 KB all-send) records ~2.2M events; 4M
+/// slots (~160 MB per concurrently-live point) leaves headroom.
+inline constexpr std::size_t kCheckTraceCapacity = std::size_t{1} << 22;
 
 /// Parses the shared flags; prints usage and exits(2) on anything else.
 inline BenchArgs parse_bench_args(int argc, char** argv) {
@@ -46,6 +60,8 @@ inline BenchArgs parse_bench_args(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--quick") {
       args.quick = true;
+    } else if (arg == "--check") {
+      args.check = true;
     } else if (arg == "--jobs" && i + 1 < argc) {
       args.jobs = std::atoi(argv[++i]);
       if (args.jobs < 1) args.jobs = 1;
@@ -54,17 +70,22 @@ inline BenchArgs parse_bench_args(int argc, char** argv) {
       if (args.reps < 1) args.reps = 1;
     } else if (arg == "--trace-cap" && i + 1 < argc) {
       const long long cap = std::atoll(argv[++i]);
-      if (cap > 0) args.trace_cap = static_cast<std::size_t>(cap);
+      if (cap > 0) {
+        args.trace_cap = static_cast<std::size_t>(cap);
+        args.trace_cap_explicit = true;
+      }
     } else if (arg == "--trace-out" && i + 1 < argc) {
       args.trace_out = argv[++i];
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--quick] [--jobs N] [--reps N] "
+                   "usage: %s [--quick] [--check] [--jobs N] [--reps N] "
                    "[--trace-cap N] [--trace-out <file.trace.json>]\n",
                    argv[0]);
       std::exit(2);
     }
   }
+  if (args.check && !args.trace_cap_explicit)
+    args.trace_cap = kCheckTraceCapacity;
   return args;
 }
 
@@ -235,5 +256,97 @@ inline void stamp_sweep_meta(JsonBench& json, const harness::SweepRunner& pool,
   json.set_point_walls(point_wall_ms);
   json.set_meta("sweep_wall_ms", sweep.elapsed_ms());
 }
+
+/// Gathers per-sweep-point wormcheck reports behind --check and renders a
+/// single deterministic verdict at the end of the sweep.
+///
+/// Like JsonBench rows, reports live in pre-sized slots keyed by point
+/// index, so the verdict (and wormcheck_report.txt) is identical no matter
+/// how many --jobs workers ran the points. `collect` is called inside the
+/// point body while its Network is still alive; `finalize` prints every
+/// failing report to stderr, writes them to wormcheck_report.txt (the CI
+/// artifact), stamps summary counts into the bench JSON meta, and returns
+/// the process exit code: 0 clean, 1 on any violation or checker refusal.
+class CheckCollector {
+ public:
+  explicit CheckCollector(bool enabled) : enabled_(enabled) {}
+
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  void resize(std::size_t n) {
+    std::lock_guard<std::mutex> lock(mu_);
+    reports_.resize(n);
+    labels_.resize(n);
+  }
+
+  /// Checks `net`'s trace against the standard rules and stores the report
+  /// in slot `i` (race-free across sweep workers).
+  void collect(std::size_t i, Network& net, std::string label) {
+    if (!enabled_) return;
+    check::CheckReport rep = net.check_expectations();
+    std::lock_guard<std::mutex> lock(mu_);
+    if (i >= reports_.size()) {
+      reports_.resize(i + 1);
+      labels_.resize(i + 1);
+    }
+    reports_[i] = std::move(rep);
+    labels_[i] = std::move(label);
+  }
+
+  int finalize(JsonBench* json) {
+    if (!enabled_) return 0;
+    std::lock_guard<std::mutex> lock(mu_);
+    std::int64_t violations = 0;
+    std::int64_t obligations = 0;
+    std::int64_t unterminated = 0;
+    std::int64_t refused = 0;
+    std::size_t checked = 0;
+    std::string failures;
+    for (std::size_t i = 0; i < reports_.size(); ++i) {
+      if (!reports_[i].has_value()) continue;  // point not run (skipped)
+      const check::CheckReport& r = *reports_[i];
+      ++checked;
+      obligations += r.obligations;
+      unterminated += r.unterminated;
+      violations += static_cast<std::int64_t>(r.violations.size());
+      if (!r.usable) ++refused;
+      if (!r.ok())
+        failures += "== " + labels_[i] + " ==\n" + r.format() + "\n";
+    }
+    if (json != nullptr) {
+      json->set_meta("check_points", static_cast<double>(checked));
+      json->set_meta("check_obligations", static_cast<double>(obligations));
+      json->set_meta("check_unterminated", static_cast<double>(unterminated));
+      json->set_meta("check_violations", static_cast<double>(violations));
+      json->set_meta("check_refused", static_cast<double>(refused));
+    }
+    if (failures.empty()) {
+      std::fprintf(stderr,
+                   "# wormcheck: OK -- %zu point(s) clean, %lld obligation(s)"
+                   ", %lld unterminated at horizon\n",
+                   checked, static_cast<long long>(obligations),
+                   static_cast<long long>(unterminated));
+      return 0;
+    }
+    std::fprintf(stderr, "%s", failures.c_str());
+    std::FILE* f = std::fopen("wormcheck_report.txt", "w");
+    if (f != nullptr) {
+      std::fwrite(failures.data(), 1, failures.size(), f);
+      std::fclose(f);
+    }
+    std::fprintf(stderr,
+                 "# wormcheck: FAIL -- %lld violation(s), %lld refusal(s) "
+                 "across %zu point(s); wrote wormcheck_report.txt\n",
+                 static_cast<long long>(violations),
+                 static_cast<long long>(refused), checked);
+    return 1;
+  }
+
+ private:
+  bool enabled_;
+  std::mutex mu_;
+  std::vector<std::optional<check::CheckReport>> reports_;
+  std::vector<std::string> labels_;
+};
 
 }  // namespace wormcast::bench

@@ -34,7 +34,9 @@ struct Point {
 };
 
 Point run_crash(Scheme scheme, Time suspicion, Time measure,
-                std::uint64_t seed) {
+                std::uint64_t seed, std::size_t trace_cap,
+                bench::CheckCollector& checks, std::size_t slot,
+                std::string label) {
   // Load 0.02: sustainable by both schemes on this testbed. (The
   // root-serialized tree saturates its root link near 0.05 even without
   // faults — the serializer bottleneck of Section 6 — which would swamp
@@ -47,11 +49,13 @@ Point run_crash(Scheme scheme, Time suspicion, Time measure,
   cfg.protocol.suspicion_timeout = suspicion;
   auto group = make_full_group(8);
   Network net(make_myrinet_testbed(), {group}, cfg);
+  if (checks.enabled()) net.enable_tracing(trace_cap);
   bench::arm_watchdog(net);
 
   const Time crash_at = 2'000 + measure / 2;
   net.crash_host(3, crash_at);
   net.run(/*warmup=*/2'000, measure, /*drain_cap=*/600'000);
+  checks.collect(slot, net, std::move(label));
 
   const Network::Summary s = net.summary();
   Point p;
@@ -124,6 +128,8 @@ int main(int argc, char** argv) {
   std::vector<Point> raw(n_tasks);
   bench::JsonBench json("failure_repair");
   json.resize_rows(timeouts.size());
+  bench::CheckCollector checks(args.check);
+  checks.resize(n_tasks);
   const harness::WallTimer sweep;
   harness::SweepRunner pool(args.jobs);
   const auto walls = pool.run_indexed(n_tasks, [&](std::size_t i) {
@@ -132,8 +138,13 @@ int main(int argc, char** argv) {
     const Time suspicion = timeouts[point / 2];
     const Scheme scheme =
         (point % 2) == 0 ? Scheme::kHamiltonianSF : Scheme::kTreeSF;
+    char label[64];
+    std::snprintf(label, sizeof label, "suspicion=%lld scheme=%s rep=%zu",
+                  static_cast<long long>(suspicion),
+                  (point % 2) == 0 ? "circuit" : "tree", rep);
     raw[i] = run_crash(scheme, suspicion, measure,
-                       harness::point_seed(kBaseSeed, rep));
+                       harness::point_seed(kBaseSeed, rep), args.trace_cap,
+                       checks, i, label);
   });
 
   for (std::size_t t = 0; t < timeouts.size(); ++t) {
@@ -168,6 +179,7 @@ int main(int argc, char** argv) {
   std::fflush(stdout);
   bench::stamp_sweep_meta(json, pool, walls, sweep);
   json.set_meta("reps", static_cast<double>(args.reps));
+  const int check_rc = checks.finalize(&json);
   json.write();
-  return 0;
+  return check_rc;
 }

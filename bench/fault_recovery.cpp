@@ -32,7 +32,9 @@ struct Point {
   double retx_per_msg = 0.0;
 };
 
-Point run_lossy(Scheme scheme, double loss, Time measure, std::uint64_t seed) {
+Point run_lossy(Scheme scheme, double loss, Time measure, std::uint64_t seed,
+                std::size_t trace_cap, bench::CheckCollector& checks,
+                std::size_t slot, std::string label) {
   ExperimentConfig cfg = bench::sim_defaults(scheme, 0.05, 0.3, seed);
   cfg.protocol.ack_timeout = 20'000;
   cfg.protocol.retry_backoff = 2'000;
@@ -44,8 +46,10 @@ Point run_lossy(Scheme scheme, double loss, Time measure, std::uint64_t seed) {
   group.id = 0;
   for (HostId h = 0; h < 8; ++h) group.members.push_back(h);
   Network net(make_myrinet_testbed(), {group}, cfg);
+  if (checks.enabled()) net.enable_tracing(trace_cap);
   bench::arm_watchdog(net);
   net.run(/*warmup=*/2'000, measure, /*drain_cap=*/500'000);
+  checks.collect(slot, net, std::move(label));
   const Network::Summary s = net.summary();
   Point p;
   if (s.messages > 0) {
@@ -110,6 +114,8 @@ int main(int argc, char** argv) {
   std::vector<Point> raw(n_tasks);
   bench::JsonBench json("fault_recovery");
   json.resize_rows(rates.size());
+  bench::CheckCollector checks(args.check);
+  checks.resize(n_tasks);
   const harness::WallTimer sweep;
   harness::SweepRunner pool(args.jobs);
   const auto walls = pool.run_indexed(n_tasks, [&](std::size_t i) {
@@ -118,8 +124,12 @@ int main(int argc, char** argv) {
     const double rate = rates[point / 2];
     const Scheme scheme =
         (point % 2) == 0 ? Scheme::kHamiltonianSF : Scheme::kTreeSF;
+    char label[64];
+    std::snprintf(label, sizeof label, "loss=%.2f scheme=%s rep=%zu", rate,
+                  (point % 2) == 0 ? "circuit" : "tree", rep);
     raw[i] = run_lossy(scheme, rate, measure,
-                       harness::point_seed(kBaseSeed, rep));
+                       harness::point_seed(kBaseSeed, rep), args.trace_cap,
+                       checks, i, label);
   });
 
   for (std::size_t r = 0; r < rates.size(); ++r) {
@@ -146,6 +156,7 @@ int main(int argc, char** argv) {
   std::fflush(stdout);
   bench::stamp_sweep_meta(json, pool, walls, sweep);
   json.set_meta("reps", static_cast<double>(args.reps));
+  const int check_rc = checks.finalize(&json);
   json.write();
-  return 0;
+  return check_rc;
 }

@@ -39,6 +39,8 @@ int main(int argc, char** argv) {
   const std::size_t n_points = sizes.size() * 2;
   bench::JsonBench json("fig12_myrinet_throughput");
   json.resize_rows(sizes.size());
+  bench::CheckCollector checks(args.check);
+  checks.resize(n_points);
   const harness::WallTimer sweep;
   harness::SweepRunner pool(args.jobs);
   std::vector<bench::TestbedResult> results(n_points);
@@ -48,10 +50,13 @@ int main(int argc, char** argv) {
     // --trace-out captures the first-size single-sender run: small enough
     // to load in Perfetto, yet it exercises every layer end to end.
     const bool traced = single && i == 0 && !args.trace_out.empty();
+    char label[64];
+    std::snprintf(label, sizeof label, "packet=%lld mode=%s",
+                  static_cast<long long>(size), single ? "single" : "all");
     results[i] = bench::run_testbed(single ? 1 : 8, size, span,
                                     /*burst=*/true, /*tracing=*/false,
                                     traced ? args.trace_out : std::string(),
-                                    args.trace_cap);
+                                    args.trace_cap, &checks, i, label);
   });
 
   for (std::size_t s = 0; s < sizes.size(); ++s) {
@@ -66,6 +71,7 @@ int main(int argc, char** argv) {
   }
   std::fflush(stdout);
   bench::stamp_sweep_meta(json, pool, walls, sweep);
+  const int check_rc = checks.finalize(&json);
   json.write();
-  return 0;
+  return check_rc;
 }

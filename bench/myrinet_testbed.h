@@ -55,7 +55,10 @@ inline TestbedResult run_testbed(int senders, std::int64_t packet_size,
                                  bool tracing = false,
                                  const std::string& trace_out = {},
                                  std::size_t trace_cap =
-                                     Tracer::kDefaultCapacity) {
+                                     Tracer::kDefaultCapacity,
+                                 CheckCollector* checks = nullptr,
+                                 std::size_t check_slot = 0,
+                                 std::string check_label = {}) {
   ExperimentConfig cfg;
   cfg.fabric.burst_channels = burst_channels;
   cfg.protocol.scheme = Scheme::kHamiltonianSF;
@@ -70,7 +73,8 @@ inline TestbedResult run_testbed(int senders, std::int64_t packet_size,
 
   auto group = make_full_group(8);
   Network net(make_myrinet_testbed(), {group}, cfg);
-  if (tracing || !trace_out.empty()) net.enable_tracing(trace_cap);
+  const bool checking = checks != nullptr && checks->enabled();
+  if (tracing || checking || !trace_out.empty()) net.enable_tracing(trace_cap);
 
   // Saturating applications: top up each sender whenever its adapter's
   // transmit queue has drained ("sent as many packets as possible").
@@ -113,6 +117,7 @@ inline TestbedResult run_testbed(int senders, std::int64_t packet_size,
     }
   });
   net.run_until(span);
+  if (checking) checks->collect(check_slot, net, std::move(check_label));
 
   TestbedResult out;
   double rx_total = 0.0;

@@ -456,6 +456,7 @@ void HostProtocol::abort_task(const TaskPtr& task) {
       window_advance(task->group, s.to);
   }
   if (task->reserved > 0) {
+    WORMTRACE(sim_, kProtoRelease, host_, -1, task->message_id, task->reserved);
     pool_.release(task->cls, task->reserved);
     task->reserved = 0;
     if (config_.scheme == Scheme::kCentralizedCredit) ++freed_credits_;
@@ -470,6 +471,7 @@ void HostProtocol::maybe_release(const TaskPtr& task) {
   for (const Task::Send& s : task->sends)
     if (!s.started || (!s.acked && !s.failed)) return;
   if (task->reserved > 0) {
+    WORMTRACE(sim_, kProtoRelease, host_, -1, task->message_id, task->reserved);
     pool_.release(task->cls, task->reserved);
     task->reserved = 0;
     // Credit scheme: the freed slot rides home on the next token visit.
@@ -599,6 +601,7 @@ void HostProtocol::on_rx_complete(const WormPtr& worm,
       assert(got <= ctx->payload && "switch mcast over-delivery");
       if (got == ctx->payload) {
         switch_mcast_rx_.erase(ctx->message_id);
+        WORMTRACE(sim_, kProtoDeliver, host_, -1, ctx->message_id, ctx->origin);
         metrics_.on_delivered(ctx, host_, sim_.now());
         if (ctx->group != kNoGroup)
           metrics_.record_order(host_, ctx->group, ctx->message_id);
@@ -610,6 +613,7 @@ void HostProtocol::on_rx_complete(const WormPtr& worm,
   }
   if (!worm->mcast.has_value()) {
     // Plain unicast delivery (includes the repeated-unicast baseline).
+    WORMTRACE(sim_, kProtoDeliver, host_, -1, worm->id, worm->src);
     metrics_.on_delivered(worm->message, host_, sim_.now());
     if (worm->message->group != kNoGroup)
       metrics_.record_order(host_, worm->message->group, worm->message->message_id);
@@ -640,6 +644,14 @@ void HostProtocol::handle_mcast_data(const WormPtr& worm) {
   TaskPtr task = it->second;
   task->rx_complete = true;
   if (recovery_enabled()) {
+    // A completed copy of the *other* phase means this host already handed
+    // the payload up: a rescued relay copy can land on a new serializer
+    // that received the old root's flood (and vice versa for a straggler
+    // flood copy behind a processed relay). Forwarding duties remain —
+    // orphaned subtrees may depend on the re-flood — but the local
+    // delivery must not repeat.
+    if (done_.contains(dedup_key(h.message_id, !h.relay_phase)))
+      task->delivered = true;
     remember_done(dedup_key(h.message_id, h.relay_phase));
     adapter_.send_control(make_control_worm(WormKind::kAck, worm));
   }
@@ -675,6 +687,7 @@ void HostProtocol::deliver_locally(const TaskPtr& task) {
   if (task->delivered) return;
   task->delivered = true;
   if (task->origin == host_) return;  // own payload came back around
+  WORMTRACE(sim_, kProtoDeliver, host_, -1, task->message_id, task->origin);
   metrics_.on_delivered(task->ctx, host_, sim_.now());
   metrics_.record_order(host_, task->group, task->message_id);
 }
@@ -775,6 +788,7 @@ void HostProtocol::on_rx_truncated(const WormPtr& worm) {
 void HostProtocol::on_crash() {
   if (dead_) return;
   dead_ = true;
+  WORMTRACE(sim_, kProtoCrash, host_, -1, 0, 0);
   // Queued (uncommitted) transmissions vanish; a worm mid-DMA finishes.
   adapter_.drop_queued_tx();
   // Ordered-forwarding queues die with the host; cleared first so the task

@@ -237,6 +237,48 @@ bool Network::write_trace(const std::string& path) const {
   return write_chrome_trace(sim_.tracer(), path);
 }
 
+check::CheckReport Network::check_expectations() const {
+  const Tracer& tracer = sim_.tracer();
+  check::CheckReport rep;
+  if (!tracer.enabled() && tracer.recorded() == 0) {
+    rep.refusal =
+        "tracing is not enabled; call enable_tracing() before the run "
+        "(with --check the benches do this automatically)";
+    return rep;
+  }
+  if (tracer.dropped() > 0) {
+    std::ostringstream why;
+    why << "the trace ring wrapped: " << tracer.dropped() << " of "
+        << tracer.recorded() << " events were overwritten (capacity "
+        << tracer.capacity()
+        << "), so absence of a violation proves nothing; raise the trace "
+           "capacity (--trace-cap) until nothing drops";
+    rep.refusal = why.str();
+    rep.events_dropped = tracer.dropped();
+    return rep;
+  }
+
+  check::CheckConfig ccfg;
+  const ProtocolConfig& p = config_.protocol;
+  ccfg.ack_timeout = p.ack_timeout;
+  ccfg.retry_backoff = p.retry_backoff;
+  ccfg.retry_jitter = p.retry_jitter;
+  ccfg.max_attempts = p.max_attempts;
+  ccfg.suspicion_timeout = p.suspicion_timeout;
+  ccfg.probe_interval = p.probe_interval > 0
+                            ? p.probe_interval
+                            : std::max<Time>(1, p.suspicion_timeout / 4);
+  ccfg.repair_grace = p.repair_grace;
+  // The idle-flush rule only applies when scheme (c) can actually flush.
+  ccfg.idle_flush_threshold =
+      config_.switch_mcast.scheme == SwitchMcastScheme::kFlushUnicast
+          ? config_.switch_mcast.idle_flush_threshold
+          : 0;
+  rep = check::run_checks(tracer.snapshot(), check::standard_rules(ccfg));
+  rep.events_dropped = tracer.dropped();
+  return rep;
+}
+
 void Network::register_counters(CounterRegistry& reg) const {
   const auto i64 = [](auto getter) {
     return [getter] { return static_cast<double>(getter()); };

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "adapter/host_adapter.h"
+#include "check/wormcheck.h"
 #include "core/group_tables.h"
 #include "core/host_protocol.h"
 #include "core/metrics.h"
@@ -148,6 +149,16 @@ class Network {
   /// totals, switch-multicast engine decisions, simulator event stats,
   /// tracer occupancy) so benches serialize them uniformly.
   void register_counters(CounterRegistry& reg) const;
+
+  /// Post-run protocol expectation checking (wormcheck): replays the
+  /// flight-recorder ring through the standard rule pack derived from this
+  /// experiment's protocol and switch-multicast configuration, and returns
+  /// the violation report. Refuses loudly — `usable == false`, never a
+  /// silent pass — when tracing was off or the ring wrapped (a wrapped
+  /// ring lost events, so "no violation found" would be meaningless);
+  /// raise enable_tracing's capacity until dropped() stays 0 to check
+  /// longer runs.
+  [[nodiscard]] check::CheckReport check_expectations() const;
 
   /// Aggregate results of the last run.
   struct Summary {

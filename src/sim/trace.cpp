@@ -36,6 +36,9 @@ const char* trace_event_name(TraceEventType type) {
     case TraceEventType::kProtoSuspect: return "proto.suspect";
     case TraceEventType::kProtoProbe: return "proto.probe";
     case TraceEventType::kProtoRepair: return "proto.repair";
+    case TraceEventType::kProtoDeliver: return "proto.deliver";
+    case TraceEventType::kProtoRelease: return "proto.release";
+    case TraceEventType::kProtoCrash: return "proto.crash";
   }
   return "unknown";
 }
@@ -76,6 +79,9 @@ TraceTrack trace_track_of(TraceEventType type) {
     case TraceEventType::kProtoSuspect:
     case TraceEventType::kProtoProbe:
     case TraceEventType::kProtoRepair:
+    case TraceEventType::kProtoDeliver:
+    case TraceEventType::kProtoRelease:
+    case TraceEventType::kProtoCrash:
       return TraceTrack::kHost;
   }
   return TraceTrack::kHost;

@@ -63,6 +63,9 @@ enum class TraceEventType : std::uint8_t {
   kProtoSuspect,     // failure detector accused a peer; arg = suspect
   kProtoProbe,       // liveness probe queued; arg = target host
   kProtoRepair,      // peer declared dead, structures repaired; arg = peer
+  kProtoDeliver,     // payload handed to the application; arg = origin host
+  kProtoRelease,     // forwarding reservation returned; arg = bytes freed
+  kProtoCrash,       // this host crash-stopped (silent to its peers)
 };
 
 /// Export track families (one Perfetto thread per (track, node, port)).

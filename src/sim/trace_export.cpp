@@ -75,16 +75,18 @@ std::string track_name(const TrackKey& k) {
 }
 
 void append_event(std::string* out, const char* ph, const char* name,
-                  Time ts, Time dur, int tid, const TraceEvent& e) {
+                  Time ts, Time dur, int tid, const TraceEvent& e,
+                  bool unterminated = false) {
   char buf[256];
   if (dur >= 0) {
     std::snprintf(buf, sizeof buf,
                   ",\n{\"name\":\"%s\",\"ph\":\"%s\",\"ts\":%lld,"
                   "\"dur\":%lld,\"pid\":0,\"tid\":%d,"
-                  "\"args\":{\"worm\":%" PRIu64 ",\"arg\":%lld}}",
+                  "\"args\":{\"worm\":%" PRIu64 ",\"arg\":%lld%s}}",
                   name, ph, static_cast<long long>(ts),
                   static_cast<long long>(dur), tid, e.worm,
-                  static_cast<long long>(e.arg));
+                  static_cast<long long>(e.arg),
+                  unterminated ? ",\"unterminated\":1" : "");
   } else {
     std::snprintf(buf, sizeof buf,
                   ",\n{\"name\":\"%s\",\"ph\":\"%s\",\"s\":\"t\",\"ts\":%lld,"
@@ -122,10 +124,11 @@ std::string chrome_trace_json(const std::vector<TraceEvent>& events) {
       const auto it = open.find(key);
       if (it != open.end()) {
         // A second open without a close (the ring lost the closer): emit
-        // the stale span up to now so nothing silently disappears.
+        // the stale span up to now so nothing silently disappears — marked
+        // unterminated, because the end time is synthetic.
         append_event(&body, "X", trace_event_name(it->second.second.type),
                      it->second.first, e.t - it->second.first, tid,
-                     it->second.second);
+                     it->second.second, /*unterminated=*/true);
         it->second = {e.t, e};
       } else {
         open.emplace(key, std::make_pair(e.t, e));
@@ -148,11 +151,12 @@ std::string chrome_trace_json(const std::vector<TraceEvent>& events) {
     }
     append_event(&body, "i", trace_event_name(e.type), e.t, -1, tid, e);
   }
-  // Spans still open at the end of the recording run to the last timestamp.
+  // Spans still open at the end of the recording: the worm was in flight
+  // at the horizon. Closed at the last timestamp, flagged unterminated.
   for (const auto& [key, val] : open) {
     const Time dur = std::max<Time>(1, end_t - val.first);
     append_event(&body, "X", trace_event_name(val.second.type), val.first,
-                 dur, key.first, val.second);
+                 dur, key.first, val.second, /*unterminated=*/true);
   }
 
   std::string out = "{\"traceEvents\":[";
@@ -185,19 +189,23 @@ bool write_chrome_trace(const Tracer& tracer, const std::string& path) {
   return true;
 }
 
+std::string format_trace_line(const TraceEvent& e) {
+  std::ostringstream out;
+  out << "t=" << e.t << ' '
+      << track_name(TrackKey{trace_track_of(e.type), e.node, e.port}) << ' '
+      << trace_event_name(e.type);
+  if (e.worm != 0) out << " worm=" << e.worm;
+  out << " arg=" << e.arg;
+  return out.str();
+}
+
 std::string format_trace_tail(const Tracer& tracer, std::size_t last_n) {
   const std::vector<TraceEvent> events = tracer.snapshot(last_n);
   if (events.empty()) return {};
   std::ostringstream out;
   out << "trace tail (last " << events.size() << " of " << tracer.recorded()
       << " recorded):\n";
-  for (const TraceEvent& e : events) {
-    out << "  t=" << e.t << ' '
-        << track_name(TrackKey{trace_track_of(e.type), e.node, e.port})
-        << ' ' << trace_event_name(e.type);
-    if (e.worm != 0) out << " worm=" << e.worm;
-    out << " arg=" << e.arg << '\n';
-  }
+  for (const TraceEvent& e : events) out << "  " << format_trace_line(e) << '\n';
   return out.str();
 }
 

@@ -17,8 +17,18 @@ namespace wormcast {
 
 /// Renders an event stream (oldest first, e.g. Tracer::snapshot()) as a
 /// Chrome trace-event JSON document.
+///
+/// Spans whose closer never appeared — the worm was still in flight at the
+/// recording horizon, or the ring overwrote the closer — are emitted with
+/// an explicit `"unterminated": 1` arg instead of only a synthetic end
+/// time, so consumers (and the wormcheck reconstructor) can tell "still in
+/// flight" from "observed to finish".
 [[nodiscard]] std::string chrome_trace_json(
     const std::vector<TraceEvent>& events);
+
+/// One trace event as the human-readable line used by format_trace_tail
+/// and by wormcheck violation reports: "t=<t> <track> <name> [worm=w] arg=a".
+[[nodiscard]] std::string format_trace_line(const TraceEvent& e);
 
 /// Writes the tracer's ring as Chrome trace JSON. Returns false (and says
 /// why on stderr) when the file cannot be written.

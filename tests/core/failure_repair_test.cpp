@@ -189,6 +189,60 @@ INSTANTIATE_TEST_SUITE_P(Schemes, CrashDetectionTest,
                            return s;
                          });
 
+// --- fault x repair composition (loss recovery + crash repair together) -----
+
+class CrashDuringBackoffTest : public ::testing::TestWithParam<Scheme> {};
+
+// Transient faults and a permanent failure composed: heavy ACK loss keeps
+// senders in retransmit back-off, and the crash lands while retry timers
+// to the victim are pending. The rescue must retarget those sends onto the
+// repaired structures, deliver everything to the survivors exactly once,
+// and the whole causal history must satisfy the standard protocol
+// expectations (NACK/timeout resolution, suspicion evidence, repair
+// grace, no duplicate delivery, every reservation returned).
+TEST_P(CrashDuringBackoffTest, RescueLandsOnRepairedStructureNoDuplicates) {
+  ExperimentConfig cfg = repair_config(GetParam());
+  cfg.faults.ctrl_loss_rate = 0.1;  // lost ACKs arm retransmit back-off
+  // Loss this heavy makes live peers look silent to a 30k detector; the
+  // longer deadline keeps the accusation rate at exactly the real crash.
+  cfg.protocol.suspicion_timeout = 60'000;
+  Network net(make_myrinet_testbed(), {full_group(8)}, cfg);
+  net.enable_tracing(std::size_t{1} << 18);
+  // Crash after the first ACK-timeout rounds (ack_timeout 8k) have put
+  // senders into back-off: retry timers to host 3 are pending when it dies.
+  const Time crash_at = 20'000;
+  net.crash_host(3, crash_at);
+  for (int i = 0; i < 24; ++i) {
+    const HostId src = static_cast<HostId>((i * 3) % 8 == 3 ? 1 : (i * 3) % 8);
+    net.sim().at(1'000 + i * 2'000,
+                 [&net, src] { inject_group_mcast(net, 0, src, 300); });
+  }
+  net.run_to_quiescence();
+
+  const Network::Summary s = net.summary();
+  ASSERT_GT(s.retransmits, 0) << "loss recovery was never exercised";
+  EXPECT_EQ(s.hosts_removed, 1) << "the detector never accused the dead host";
+  EXPECT_GT(s.sends_rerouted, 0)
+      << "no in-flight send was rescued onto the repaired structure";
+  expect_survivors_clean(net, {3});
+  expect_exactly_once(net, 0, {3});
+  EXPECT_GT(s.messages_completed, 0);
+
+  const check::CheckReport rep = net.check_expectations();
+  EXPECT_TRUE(rep.ok()) << rep.format();
+  EXPECT_GT(rep.obligations, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, CrashDuringBackoffTest,
+                         ::testing::Values(Scheme::kHamiltonianSF,
+                                           Scheme::kTreeSF),
+                         [](const ::testing::TestParamInfo<Scheme>& param) {
+                           std::string s = scheme_name(param.param);
+                           for (char& c : s)
+                             if (c == '-') c = '_';
+                           return s;
+                         });
+
 TEST(FailureRepair, ProbesDetectIdleNeighborDeath) {
   // Two groups: group 0 carries all the traffic; group 1 exchanges one
   // message and then goes idle. Host 5 (group 1 only) crashes afterwards:

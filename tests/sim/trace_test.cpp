@@ -102,8 +102,31 @@ TEST(TraceExport, DanglingOpenSpanIsFlushedToEnd) {
   events.push_back(make_event(10, TraceEventType::kAdpTxStart, 0, -1, 5, 64));
   events.push_back(make_event(42, TraceEventType::kChanGo, 1, 0, 0, 0));
   const std::string json = chrome_trace_json(events);
+  // The synthetic end is honest about itself: the span is marked
+  // unterminated instead of masquerading as a real completion.
   EXPECT_NE(json.find("\"name\":\"adp.tx\",\"ph\":\"X\",\"ts\":10,\"dur\":32"),
             std::string::npos);
+  EXPECT_NE(json.find("\"unterminated\":1"), std::string::npos);
+}
+
+TEST(TraceExport, StaleOpenReplacedByReopenIsMarkedUnterminated) {
+  // Two opens on the same (track, worm) without a closer in between: the
+  // first span's end is synthesized at the reopen and must carry the
+  // unterminated marker; the second closes normally and must not.
+  std::vector<TraceEvent> events;
+  events.push_back(make_event(10, TraceEventType::kAdpTxStart, 0, -1, 5, 64));
+  events.push_back(make_event(30, TraceEventType::kAdpTxStart, 0, -1, 5, 64));
+  events.push_back(make_event(50, TraceEventType::kAdpTxDone, 0, -1, 5, 0));
+  const std::string json = chrome_trace_json(events);
+  const auto stale = json.find("\"ph\":\"X\",\"ts\":10");
+  ASSERT_NE(stale, std::string::npos);
+  EXPECT_NE(json.find("\"unterminated\":1", stale), std::string::npos);
+  const auto closed = json.find("\"ph\":\"X\",\"ts\":30,\"dur\":20");
+  ASSERT_NE(closed, std::string::npos);
+  // No marker on the properly closed span.
+  const std::string closed_entry =
+      json.substr(closed, json.find('}', closed) - closed);
+  EXPECT_EQ(closed_entry.find("unterminated"), std::string::npos);
 }
 
 TEST(TraceExport, FormatTraceTailListsEvents) {
