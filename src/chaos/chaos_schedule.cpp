@@ -1,0 +1,141 @@
+#include "chaos/chaos_schedule.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_set>
+
+namespace wormcast {
+
+namespace {
+
+bool is_switch(const Topology& topo, NodeId n) {
+  return topo.node(n).kind == NodeKind::kSwitch;
+}
+
+/// Links whose loss degrades but does not isolate: both endpoints are
+/// switches. Falls back to every link on single-switch topologies.
+std::vector<LinkId> fabric_links(const Topology& topo) {
+  std::vector<LinkId> out;
+  for (LinkId l = 0; l < topo.num_links(); ++l) {
+    const TopoLink& link = topo.link(l);
+    if (is_switch(topo, link.node_a) && is_switch(topo, link.node_b))
+      out.push_back(l);
+  }
+  if (out.empty()) {
+    out.resize(static_cast<std::size_t>(topo.num_links()));
+    for (LinkId l = 0; l < topo.num_links(); ++l)
+      out[static_cast<std::size_t>(l)] = l;
+  }
+  return out;
+}
+
+}  // namespace
+
+int ChaosSchedule::flap_random_links(int n, Time from, Time until,
+                                     Time mean_down, Time mean_up) {
+  std::vector<LinkId> candidates = fabric_links(net_.topology());
+  rng_.shuffle(candidates);
+  const auto count = std::min<std::size_t>(static_cast<std::size_t>(n),
+                                           candidates.size());
+  int windows = 0;
+  for (std::size_t i = 0; i < count; ++i)
+    windows += net_.flap_link(candidates[i], from, until, mean_down, mean_up);
+  return windows;
+}
+
+int ChaosSchedule::correlated_link_outage(int n, Time at, Time span) {
+  const Topology& topo = net_.topology();
+  // The shared cause is one switch: collect switches by descending degree
+  // and pick keyed-uniform among those able to lose `n` links (or, when
+  // none can, the best-connected one).
+  std::vector<NodeId> switches;
+  for (NodeId node = 0; node < topo.num_nodes(); ++node)
+    if (is_switch(topo, node)) switches.push_back(node);
+  if (switches.empty()) return 0;
+  std::vector<NodeId> able;
+  for (const NodeId s : switches)
+    if (static_cast<int>(topo.node(s).ports.size()) >= n) able.push_back(s);
+  const NodeId victim =
+      !able.empty()
+          ? rng_.pick(able)
+          : *std::max_element(switches.begin(), switches.end(),
+                              [&](NodeId a, NodeId b) {
+                                return topo.node(a).ports.size() <
+                                       topo.node(b).ports.size();
+                              });
+  std::vector<LinkId> links;
+  for (const TopoPort& port : topo.node(victim).ports)
+    if (port.link != kNoLink) links.push_back(port.link);
+  rng_.shuffle(links);
+  const auto count =
+      std::min<std::size_t>(static_cast<std::size_t>(n), links.size());
+  for (std::size_t i = 0; i < count; ++i) {
+    const TopoLink& link = topo.link(links[i]);
+    // One shared window across the whole burst: that simultaneity is the
+    // point (and the stress repair/retry must absorb at once).
+    net_.faults().schedule_outage(
+        &net_.fabric().channel_from(links[i], link.node_a), at, at + span);
+    net_.faults().schedule_outage(
+        &net_.fabric().channel_from(links[i], link.node_b), at, at + span);
+  }
+  return static_cast<int>(count);
+}
+
+int ChaosSchedule::rolling_host_outages(const std::vector<HostId>& hosts,
+                                        Time from, Time stagger, Time dwell) {
+  int pairs = 0;
+  Time t = from;
+  for (const HostId h : hosts) {
+    for (const GroupId g : net_.tables().groups_containing(h)) {
+      net_.request_leave(g, h, t);
+      net_.request_join(g, h, t + dwell);
+      ++pairs;
+    }
+    t += stagger;
+  }
+  return pairs;
+}
+
+int ChaosSchedule::partition_then_heal(Time at, Time span) {
+  const Topology& topo = net_.topology();
+  // Halve the switch graph by BFS from the up/down root: the first half
+  // discovered is side A, and every switch-switch link crossing the cut
+  // goes down for [at, at + span). Hosts stay attached to their switch,
+  // so each side keeps working internally until the heal.
+  std::vector<std::vector<NodeId>> adj(
+      static_cast<std::size_t>(topo.num_nodes()));
+  std::vector<LinkId> fabric = fabric_links(topo);
+  for (const LinkId l : fabric) {
+    const TopoLink& link = topo.link(l);
+    if (!is_switch(topo, link.node_a) || !is_switch(topo, link.node_b))
+      continue;
+    adj[static_cast<std::size_t>(link.node_a)].push_back(link.node_b);
+    adj[static_cast<std::size_t>(link.node_b)].push_back(link.node_a);
+  }
+  const int half = std::max(1, topo.num_switches() / 2);
+  std::unordered_set<NodeId> side_a;
+  std::deque<NodeId> frontier{net_.routing().root()};
+  while (!frontier.empty() && static_cast<int>(side_a.size()) < half) {
+    const NodeId s = frontier.front();
+    frontier.pop_front();
+    if (!side_a.insert(s).second) continue;
+    for (const NodeId peer : adj[static_cast<std::size_t>(s)])
+      if (side_a.count(peer) == 0) frontier.push_back(peer);
+  }
+  int cut = 0;
+  for (const LinkId l : fabric) {
+    const TopoLink& link = topo.link(l);
+    if (!is_switch(topo, link.node_a) || !is_switch(topo, link.node_b))
+      continue;
+    if ((side_a.count(link.node_a) > 0) == (side_a.count(link.node_b) > 0))
+      continue;
+    net_.faults().schedule_outage(
+        &net_.fabric().channel_from(l, link.node_a), at, at + span);
+    net_.faults().schedule_outage(
+        &net_.fabric().channel_from(l, link.node_b), at, at + span);
+    ++cut;
+  }
+  return cut;
+}
+
+}  // namespace wormcast

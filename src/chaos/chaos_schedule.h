@@ -1,0 +1,63 @@
+// Composable scripted fault patterns ("chaos schedules") over a Network.
+//
+// Each pattern is a deterministic function of (schedule seed, pattern
+// arguments): link choices, stagger offsets, and flap windows all come
+// from keyed RandomStream draws, never from call interleaving, so a
+// schedule applied to a sweep point is bit-identical at any --jobs. All
+// patterns use *recovering* faults (windowed outages or membership
+// leave/rejoin) — the permanent-failure paths (crash_host, fail_link)
+// stay what they are: separate, non-recovering events.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/network.h"
+#include "sim/random.h"
+
+namespace wormcast {
+
+/// Scripted chaos over one Network. Construct per experiment point with a
+/// seed forked from the point seed; every method only *schedules* faults
+/// (on the injector or the membership coordinator), so all of them can be
+/// called before Network::run.
+class ChaosSchedule {
+ public:
+  ChaosSchedule(Network& net, std::uint64_t seed)
+      : net_(net), rng_(seed) {}
+
+  /// Pattern: flapping links. Picks `n` distinct links (keyed draw) and
+  /// gives each flap cycles through [from, until) — alternating keyed
+  /// down/up windows around the given means; every window recovers.
+  /// Returns the total down-windows scheduled.
+  int flap_random_links(int n, Time from, Time until, Time mean_down,
+                        Time mean_up);
+
+  /// Pattern: correlated multi-link failure. One switch (keyed draw)
+  /// loses `n` of its links for the *same* window [at, at + span) — the
+  /// shared-cause burst (a rebooting switch, a yanked cable tray) that
+  /// independent per-link faults never produce. Links recover at
+  /// at + span; routing is never recomputed. Returns the links taken down.
+  int correlated_link_outage(int n, Time at, Time span);
+
+  /// Pattern: rolling host outages. Each host of `hosts`, staggered
+  /// `stagger` apart starting at `from`, voluntarily leaves every group
+  /// it belongs to and requests rejoin `dwell` later (a rolling restart,
+  /// expressed as clean churn rather than crashes). Returns the number of
+  /// leave/rejoin pairs requested.
+  int rolling_host_outages(const std::vector<HostId>& hosts, Time from,
+                           Time stagger, Time dwell);
+
+  /// Pattern: partition-then-heal. Cuts the fabric in two halves (BFS
+  /// over switches from the up/down root; the first half of the switches
+  /// is one side) by taking every crossing link down for
+  /// [at, at + span), then heals everything at once. Returns the number
+  /// of links in the cut.
+  int partition_then_heal(Time at, Time span);
+
+ private:
+  Network& net_;
+  RandomStream rng_;
+};
+
+}  // namespace wormcast

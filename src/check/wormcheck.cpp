@@ -31,7 +31,7 @@ struct CheckerAccess {
 namespace {
 
 constexpr std::size_t kNumEventTypes =
-    static_cast<std::size_t>(TraceEventType::kProtoCrash) + 1;
+    static_cast<std::size_t>(TraceEventType::kProtoDedupReset) + 1;
 
 /// Positions (into the snapshot) of every event of one type, in record
 /// order, with a parallel time vector for binary-searching windows — the
@@ -355,6 +355,11 @@ std::vector<Expectation> standard_rules(const CheckConfig& cfg) {
                   [](const TraceEvent& t, const TraceEvent& c) {
                     return c.arg == t.arg;
                   })  // repair retargeted this very send
+          .unless(T::kProtoLeave,
+                  [](const TraceEvent& t, const TraceEvent& c) {
+                    return c.node == t.arg;
+                  })  // the awaited destination voluntarily left; the
+                      // leave triage shrank or retargeted this send
           .detail("an ACK timeout must resolve into a retransmission, a "
                   "send failure, or a suspicion within the back-off cap")
           .active_if(recovery));
@@ -407,6 +412,45 @@ std::vector<Expectation> standard_rules(const CheckConfig& cfg) {
           .followed_by(T::kProtoRelease, same_worm_same_node)
           .detail("a reserved forwarding buffer must be returned within the "
                   "retry budget's worst case"));
+
+  // Membership churn. Join/leave events carry worm = 0, node = the member,
+  // arg = the group; a suspicion carries node = accuser, arg = suspect.
+  rules.push_back(
+      expect("join-grace")
+          .on(T::kProtoJoinRequest)
+          .within(cfg.join_grace + cfg.slack)
+          .followed_by(T::kProtoJoinApplied, same_site)
+          .or_by(T::kProtoJoinShed, same_site)
+          .unless(T::kProtoCrash,
+                  [](const TraceEvent& t, const TraceEvent& c) {
+                    return c.node == t.node;
+                  })  // the joiner died while queued
+          .detail("a join must be applied or explicitly shed within "
+                  "join_grace; it may not dangle in the coordinator queue")
+          .active_if(cfg.join_grace > 0));
+
+  rules.push_back(
+      expect("leave-no-suspect")
+          .on(T::kProtoSuspect)
+          .never_within(T::kProtoLeave,
+                        [](const TraceEvent& t, const TraceEvent& c) {
+                          return c.node == t.arg;
+                        },
+                        l_suspect)
+          .unless(T::kProtoCrash,
+                  [](const TraceEvent& t, const TraceEvent& c) {
+                    return c.node == t.arg;
+                  })  // a genuine crash after the leave is fair game
+          .detail("a voluntary leave is a clean departure: it must never be "
+                  "mistaken for a failure by the suspicion machinery"));
+
+  rules.push_back(
+      expect("rejoin-fresh-dedup")
+          .on(T::kProtoRejoin)
+          .within(cfg.slack)
+          .followed_by(T::kProtoDedupReset, same_site)
+          .detail("a rejoining member must reset the group's dedup epoch, or "
+                  "stale window state could swallow its first deliveries"));
 
   return rules;
 }

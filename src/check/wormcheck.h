@@ -214,6 +214,7 @@ struct CheckConfig {
   Time probe_interval = 0;  // resolved value (never 0 while suspicion is on)
   Time repair_grace = 100'000;
   Time idle_flush_threshold = 0;  // scheme (c); 0 disables the flush rule
+  Time join_grace = 0;            // membership churn; 0 disables join-grace
   /// Scheduling/congestion allowance added to every derived window.
   Time slack = 50'000;
 
@@ -242,6 +243,11 @@ struct CheckConfig {
 ///   hold-bound         no worm holds a reserved buffer past the retry
 ///                      budget's worst case (unbounded configs report
 ///                      unterminated holds instead)
+///   join-grace         every join request is applied or explicitly shed
+///                      within join_grace (never silently dropped)
+///   leave-no-suspect   a voluntary leave never matures into a suspicion
+///                      of the leaver (clean departure != failure)
+///   rejoin-fresh-dedup a recognized rejoin resets the group's dedup epoch
 [[nodiscard]] std::vector<Expectation> standard_rules(const CheckConfig& cfg);
 
 }  // namespace wormcast::check

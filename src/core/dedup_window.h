@@ -38,8 +38,23 @@ class DedupWindow {
   [[nodiscard]] std::size_t set_size() const { return keys_.size(); }
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
 
+  /// Forgets every key and opens a new epoch. The rejoin path: a member
+  /// that left and came back may legitimately re-see worm IDs its old
+  /// window had recorded (recycled IDs, or pre-leave traffic it must not
+  /// confuse with fresh sends) — without the reset those deliveries would
+  /// be silently swallowed as duplicates.
+  void reset() {
+    keys_.clear();
+    order_.clear();
+    ++epoch_;
+  }
+
+  /// Number of resets since construction (0 = the original epoch).
+  [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
+
  private:
   std::size_t capacity_;
+  std::uint64_t epoch_ = 0;
   std::unordered_set<std::uint64_t> keys_;
   std::deque<std::uint64_t> order_;
 };

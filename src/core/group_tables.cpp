@@ -25,6 +25,11 @@ HostId CircuitTable::next(HostId h) const {
   return next_it == order_.end() ? order_.front() : *next_it;
 }
 
+HostId CircuitTable::successor_of(HostId h) const {
+  const auto it = std::upper_bound(order_.begin(), order_.end(), h);
+  return it == order_.end() ? order_.front() : *it;
+}
+
 bool CircuitTable::remove(HostId h) {
   const auto it = std::lower_bound(order_.begin(), order_.end(), h);
   if (it == order_.end() || *it != h) return false;
@@ -32,6 +37,16 @@ bool CircuitTable::remove(HostId h) {
     throw std::logic_error("cannot splice the last circuit member");
   order_.erase(it);  // sorted order (and hence the one wrap reversal) survives
   return true;
+}
+
+HostId CircuitTable::insert(HostId h) {
+  const auto it = std::lower_bound(order_.begin(), order_.end(), h);
+  if (it != order_.end() && *it == h) return kNoHost;
+  const auto idx = static_cast<std::size_t>(it - order_.begin());
+  order_.insert(it, h);
+  // Predecessor on the circuit: the element before the insertion point,
+  // wrapping to the (new) highest when the joiner became the lowest.
+  return idx == 0 ? order_.back() : order_[idx - 1];
 }
 
 int CircuitTable::circuit_hop_length(const UpDownRouting& routing) const {
@@ -152,6 +167,51 @@ TreeTable::RemovalResult TreeTable::remove_member(HostId h,
   return result;
 }
 
+TreeTable::AddResult TreeTable::add_member(HostId h,
+                                           const UpDownRouting& routing,
+                                           int max_fanout) {
+  AddResult result;
+  const auto it = std::lower_bound(members_.begin(), members_.end(), h);
+  if (it != members_.end() && *it == h) return result;
+  members_.insert(it, h);
+  result.added = true;
+  children_[h] = {};
+  if (h < root_) {
+    // New-root adoption: the joiner takes the root slot and the old root
+    // becomes its only child. Every existing parent/child edge survives,
+    // so in-flight relays through the old root still reach its subtree.
+    parent_[h] = kNoHost;
+    parent_[root_] = h;
+    children_[h].push_back(root_);
+    root_ = h;
+    result.became_root = true;
+    return result;
+  }
+  // Greedy construction rule: min-hop lower-ID parent with fanout slack;
+  // the cap is relaxed only when every candidate is full.
+  HostId best = kNoHost;
+  int best_cost = 0;
+  for (bool relax_cap : {false, true}) {
+    for (const HostId candidate : members_) {
+      if (candidate >= h) break;  // members_ ascending; need parent < child
+      if (!relax_cap && max_fanout > 0 &&
+          static_cast<int>(children_[candidate].size()) >= max_fanout)
+        continue;
+      const int cost = routing.hop_count(candidate, h);
+      if (best == kNoHost || cost < best_cost) {
+        best = candidate;
+        best_cost = cost;
+      }
+    }
+    if (best != kNoHost) break;
+  }
+  parent_[h] = best;
+  std::vector<HostId>& kids = children_[best];
+  kids.insert(std::lower_bound(kids.begin(), kids.end(), h), h);
+  result.parent = best;
+  return result;
+}
+
 int TreeTable::depth() const {
   int max_depth = 0;
   for (const HostId m : members_) {
@@ -183,17 +243,48 @@ GroupTables::RepairStats GroupTables::remove_member(HostId h) {
   RepairStats stats;
   for (auto& [g, circuit] : circuits_) {
     if (!circuit.contains(h)) continue;
-    if (circuit.size() == 1) continue;  // sole member: nothing left to heal
-    circuit.remove(h);
-    ++stats.circuits_spliced;
-    const TreeTable::RemovalResult r =
-        trees_.at(g).remove_member(h, routing_, max_tree_fanout_);
-    stats.subtrees_reparented += r.subtrees_reparented;
-    if (r.root_promoted) ++stats.roots_promoted;
-    for (const auto& [orphan, parent] : r.reattached)
-      stats.reattachments.push_back({g, orphan, parent});
+    const RepairStats one = remove_member_from(g, h);
+    stats.circuits_spliced += one.circuits_spliced;
+    stats.subtrees_reparented += one.subtrees_reparented;
+    stats.roots_promoted += one.roots_promoted;
+    stats.reattachments.insert(stats.reattachments.end(),
+                               one.reattachments.begin(),
+                               one.reattachments.end());
   }
   return stats;
+}
+
+GroupTables::RepairStats GroupTables::remove_member_from(GroupId g, HostId h) {
+  RepairStats stats;
+  auto it = circuits_.find(g);
+  if (it == circuits_.end()) throw std::invalid_argument("unknown group");
+  CircuitTable& circuit = it->second;
+  if (!circuit.contains(h)) return stats;
+  if (circuit.size() == 1) return stats;  // sole member: nothing left to heal
+  circuit.remove(h);
+  ++stats.circuits_spliced;
+  const TreeTable::RemovalResult r =
+      trees_.at(g).remove_member(h, routing_, max_tree_fanout_);
+  stats.subtrees_reparented += r.subtrees_reparented;
+  if (r.root_promoted) ++stats.roots_promoted;
+  for (const auto& [orphan, parent] : r.reattached)
+    stats.reattachments.push_back({g, orphan, parent});
+  return stats;
+}
+
+GroupTables::JoinResult GroupTables::add_member(GroupId g, HostId h) {
+  JoinResult result;
+  auto it = circuits_.find(g);
+  if (it == circuits_.end()) throw std::invalid_argument("unknown group");
+  CircuitTable& circuit = it->second;
+  if (circuit.contains(h)) return result;
+  result.joined = true;
+  result.circuit_pred = circuit.insert(h);
+  const TreeTable::AddResult a =
+      trees_.at(g).add_member(h, routing_, max_tree_fanout_);
+  result.became_root = a.became_root;
+  result.tree_parent = a.parent;
+  return result;
 }
 
 const CircuitTable& GroupTables::circuit(GroupId g) const {

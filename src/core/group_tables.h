@@ -44,6 +44,19 @@ class CircuitTable {
   /// circuit. Returns false if `h` was not a member.
   bool remove(HostId h);
 
+  /// Splices a joining member in at its sorted position (the inverse of
+  /// remove: ascending-ID order, and hence the single wrap reversal, is
+  /// preserved by construction). Returns the joiner's new predecessor —
+  /// the member whose successor changed — or kNoHost if `h` was already
+  /// a member.
+  HostId insert(HostId h);
+
+  /// The first member with an ID above `h`, wrapping to the lowest.
+  /// Unlike next(), `h` need not be a member: an ex-member still relaying
+  /// in-flight traffic after its voluntary leave uses this to keep the
+  /// chain alive when its downstream stop departs too.
+  [[nodiscard]] HostId successor_of(HostId h) const;
+
  private:
   std::vector<HostId> order_;  // ascending IDs
 };
@@ -83,6 +96,20 @@ class TreeTable {
   /// children — is promoted in place.
   RemovalResult remove_member(HostId h, const UpDownRouting& routing,
                               int max_fanout);
+
+  struct AddResult {
+    bool added = false;
+    /// The joiner's ID undercut the old root's: it was adopted as the new
+    /// root with the old root as its only child (the one shape that keeps
+    /// parent-ID < child-ID without re-parenting anyone else).
+    bool became_root = false;
+    HostId parent = kNoHost;  // the joiner's parent (kNoHost when root)
+  };
+  /// Attaches a joining member in place using the construction rule: greedy
+  /// min-hop parent among lower-ID members with fanout slack (cap relaxed
+  /// only when every candidate is full). A joiner below the current root
+  /// becomes the new root instead. No existing edge moves either way.
+  AddResult add_member(HostId h, const UpDownRouting& routing, int max_fanout);
 
  private:
   HostId root_ = kNoHost;
@@ -126,6 +153,24 @@ class GroupTables {
   /// survives to use them). Every protocol instance shares these tables by
   /// reference, so one call heals the whole network.
   RepairStats remove_member(HostId h);
+
+  /// Splices `h` out of one group only — the voluntary-leave path. Same
+  /// in-place circuit splice and orphan re-adoption as a failure repair,
+  /// but scoped to `g` (a leave is per-group; a crash is per-host). A
+  /// sole-member group is left intact, like remove_member.
+  RepairStats remove_member_from(GroupId g, HostId h);
+
+  struct JoinResult {
+    bool joined = false;       // false: already a member (idempotent no-op)
+    bool became_root = false;  // tree adopted the joiner as its new root
+    HostId tree_parent = kNoHost;
+    HostId circuit_pred = kNoHost;  // member whose circuit successor changed
+  };
+  /// Splices `h` into group `g`'s circuit (sorted position) and tree
+  /// (greedy attach, or new-root adoption when `h` undercuts the root).
+  /// Incremental: no other member's circuit successor or tree parent
+  /// changes, except the old root gaining a parent on adoption.
+  JoinResult add_member(GroupId g, HostId h);
 
  private:
   const UpDownRouting& routing_;

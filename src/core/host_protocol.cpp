@@ -41,7 +41,6 @@ HostProtocol::HostProtocol(Simulator& sim, HostAdapter& adapter,
       host_(adapter.host()),
       pool_(config.buffer_classes ? BufferPool(config.pool_bytes, 2)
                                   : BufferPool::unpartitioned(config.pool_bytes)),
-      done_(static_cast<std::size_t>(std::max(config.dedup_window, 1))),
       n_hosts_(n_hosts) {
   adapter_.set_client(this);
   if (config_.scheme == Scheme::kCentralizedCredit &&
@@ -111,7 +110,9 @@ void HostProtocol::originate_unicast(const Demand& d) {
 
 void HostProtocol::originate_multicast(const Demand& d) {
   const CircuitTable& circuit = tables_.circuit(d.group);
-  assert(circuit.contains(host_) && "multicast from non-member");
+  // Under churn the static traffic generator keeps picking hosts that have
+  // since left the group; a departed member simply has nothing to send.
+  if (!circuit.contains(host_)) return;
   const int members = circuit.size();
   const int dests = members - 1;
   auto ctx =
@@ -464,7 +465,19 @@ void HostProtocol::abort_task(const TaskPtr& task) {
   (task->originator ? origin_tasks_ : tasks_).erase(task->message_id);
 }
 
-void HostProtocol::remember_done(std::uint64_t key) { done_.insert(key); }
+DedupWindow& HostProtocol::dedup_for(GroupId g) {
+  auto it = done_.find(g);
+  if (it == done_.end())
+    it = done_
+             .emplace(g, DedupWindow(static_cast<std::size_t>(
+                             std::max(config_.dedup_window, 1))))
+             .first;
+  return it->second;
+}
+
+void HostProtocol::remember_done(GroupId g, std::uint64_t key) {
+  dedup_for(g).insert(key);
+}
 
 void HostProtocol::maybe_release(const TaskPtr& task) {
   if (!task->delivered || !task->rx_complete) return;
@@ -500,7 +513,7 @@ RxDecision HostProtocol::on_rx_head(const WormPtr& worm,
     // Duplicate suppression: a retransmitted copy whose predecessor's ACK
     // was lost must be re-ACKed — its sender is still waiting — but never
     // re-delivered or re-forwarded.
-    if (done_.contains(dedup_key(h.message_id, h.relay_phase))) {
+    if (dedup_for(h.group).contains(dedup_key(h.message_id, h.relay_phase))) {
       metrics_.on_duplicate();
       WORMTRACE(sim_, kProtoDuplicate, host_, -1, worm->id, worm->src);
       adapter_.send_control(make_control_worm(WormKind::kAck, worm));
@@ -528,6 +541,15 @@ RxDecision HostProtocol::on_rx_head(const WormPtr& worm,
     if (config_.reservation && !recovery)
       adapter_.send_control(make_control_worm(WormKind::kAck, worm));
     return RxDecision::kAccept;
+  }
+
+  if (!tables_.is_member(h.group, host_)) {
+    // Not (or no longer) a member: a copy raced a voluntary leave. ACK it
+    // away so the sender stops retrying — the membership repair already
+    // retargeted the structure past this host — and never buffer it.
+    if (config_.reservation)
+      adapter_.send_control(make_control_worm(WormKind::kAck, worm));
+    return RxDecision::kDrop;
   }
 
   const int cls = config_.buffer_classes ? h.buffer_class : 0;
@@ -633,7 +655,7 @@ void HostProtocol::handle_mcast_data(const WormPtr& worm) {
   // retransmitted duplicate is re-ACKed instead of re-processed.
   if (is_confirmation(h)) {
     if (recovery_enabled()) {
-      remember_done(dedup_key(h.message_id, h.relay_phase));
+      remember_done(h.group, dedup_key(h.message_id, h.relay_phase));
       adapter_.send_control(make_control_worm(WormKind::kAck, worm));
     }
     metrics_.on_confirmation(worm->message, sim_.now());
@@ -650,13 +672,28 @@ void HostProtocol::handle_mcast_data(const WormPtr& worm) {
     // flood copy behind a processed relay). Forwarding duties remain —
     // orphaned subtrees may depend on the re-flood — but the local
     // delivery must not repeat.
-    if (done_.contains(dedup_key(h.message_id, !h.relay_phase)))
+    if (dedup_for(h.group).contains(dedup_key(h.message_id, !h.relay_phase)))
       task->delivered = true;
-    remember_done(dedup_key(h.message_id, h.relay_phase));
+    remember_done(h.group, dedup_key(h.message_id, h.relay_phase));
     adapter_.send_control(make_control_worm(WormKind::kAck, worm));
   }
 
   if (h.relay_phase) {
+    if (!tables_.is_member(h.group, host_)) {
+      // This host left the group (and its serializer role) while the relay
+      // was arriving. It still holds the full payload, so pass the relay on
+      // to the current serializer rather than strand the message.
+      task->delivered = true;  // an ex-member is not a destination
+      Task::Send relay;
+      relay.to = scheme_uses_tree(config_.scheme)
+                     ? tables_.tree(h.group).root()
+                     : tables_.circuit(h.group).lowest();
+      relay.header = h;
+      metrics_.on_relay();
+      task->sends.assign(1, relay);
+      issue_send(task, task->sends.front(), /*cut_through=*/false);
+      return;
+    }
     // We are the serializer: stamp the sequence number and start the
     // multicast proper.
     start_serialized(task);
@@ -687,6 +724,9 @@ void HostProtocol::deliver_locally(const TaskPtr& task) {
   if (task->delivered) return;
   task->delivered = true;
   if (task->origin == host_) return;  // own payload came back around
+  const auto floor = view_floor_.find(task->group);
+  if (floor != view_floor_.end() && task->ctx->created_at < floor->second)
+    return;  // pre-join message: forward-only, this host is not a destination
   WORMTRACE(sim_, kProtoDeliver, host_, -1, task->message_id, task->origin);
   metrics_.on_delivered(task->ctx, host_, sim_.now());
   metrics_.record_order(host_, task->group, task->message_id);
@@ -832,6 +872,88 @@ void HostProtocol::on_peer_removed(
     if (!task->aborted) repair_task_sends(task, dead, adopted);
 }
 
+// --- membership churn --------------------------------------------------------
+
+void HostProtocol::on_self_joined(GroupId g, bool rejoin) {
+  if (dead_) return;
+  view_floor_[g] = sim_.now();
+  if (rejoin) {
+    // Fresh dedup epoch: the old window remembers pre-leave message IDs
+    // that a rejoin may legitimately re-see; without the reset those
+    // deliveries would be silently swallowed as duplicates. Scoped to this
+    // group — other groups' duplicate memory must survive.
+    dedup_for(g).reset();
+    WORMTRACE(sim_, kProtoDedupReset, host_, -1, 0, g);
+  }
+  maybe_arm_prober();
+}
+
+void HostProtocol::on_self_left(GroupId g) {
+  if (dead_) return;
+  // Finish forwarding what is already held, but never deliver it locally:
+  // the network's accounting stopped counting this host as a destination
+  // the moment the leave was applied.
+  std::vector<TaskPtr> held;
+  for (const auto& [id, t] : tasks_)
+    if (t->group == g && !t->aborted) held.push_back(t);
+  for (const TaskPtr& t : held) {
+    t->delivered = true;
+    maybe_release(t);  // delivery may have been the task's last duty
+  }
+}
+
+void HostProtocol::on_member_joined(GroupId g, HostId joiner) {
+  if (dead_ || joiner == host_) return;
+  // Tree joins move no existing edge (the joiner attaches as a leaf, or
+  // adopts the old root as its only child), so in-flight tree sends need
+  // no patching. Circuit joins add one stop: any unresolved send whose
+  // remaining hop window now spans the joiner must grow its budget by one,
+  // or the members behind the joiner would be starved of their copy.
+  if (!scheme_uses_circuit(config_.scheme)) return;
+  const CircuitTable& circuit = tables_.circuit(g);
+  const auto patch = [&](const TaskPtr& task) {
+    if (task->group != g || task->aborted) return;
+    for (Task::Send& s : task->sends) {
+      if (s.acked || s.failed || s.header.relay_phase) continue;
+      // The copy addressed to s.to covers hops_remaining consecutive stops
+      // starting at s.to on the (already spliced) circuit.
+      HostId cur = s.to;
+      for (int k = 0; k < s.header.hops_remaining; ++k) {
+        if (cur == joiner) {
+          ++s.header.hops_remaining;
+          break;
+        }
+        cur = circuit.next(cur);
+      }
+    }
+  };
+  for (const auto& [id, t] : tasks_) patch(t);
+  for (const auto& [id, t] : origin_tasks_) patch(t);
+}
+
+void HostProtocol::on_member_left(
+    HostId leaver, GroupId g,
+    const std::vector<GroupTables::Reattachment>& adopted) {
+  if (dead_ || leaver == host_) return;
+  // A voluntary leave is not a failure: the leaver stays alive (no
+  // removed_peers_ entry, no TX purge, no suspicion-state burn) and only
+  // this group's structure was repaired. Sends aimed at the leaver are
+  // retargeted along the repaired structure exactly like a crash repair,
+  // scoped to this group's tasks.
+  const std::uint64_t key = window_key(g, leaver);
+  const auto wit = windows_.find(key);
+  if (wit != windows_.end()) wit->second.clear();
+  window_busy_[key] = false;
+  std::vector<TaskPtr> affected;
+  affected.reserve(tasks_.size() + origin_tasks_.size());
+  for (const auto& [id, t] : tasks_)
+    if (t->group == g) affected.push_back(t);
+  for (const auto& [id, t] : origin_tasks_)
+    if (t->group == g) affected.push_back(t);
+  for (const TaskPtr& task : affected)
+    if (!task->aborted) repair_task_sends(task, leaver, adopted);
+}
+
 void HostProtocol::dispatch_send(const TaskPtr& task, std::size_t send_index) {
   Task::Send& send = task->sends[send_index];
   if (send.started) return;
@@ -880,7 +1002,10 @@ void HostProtocol::repair_task_sends(
         s.acked = true;
         continue;
       }
-      const HostId to = circuit.next(host_);
+      // successor_of, not next: this host may itself be an ex-member
+      // still relaying (its own leave keeps in-flight duties alive), so
+      // its position on the repaired circuit is positional, not a lookup.
+      const HostId to = circuit.successor_of(host_);
       // Two-buffer-class rule on the repaired circuit: still class 0 while
       // IDs keep ascending past the splice; the wrap turns it to class 1.
       if (s.header.buffer_class == 0 && to < host_) s.header.buffer_class = 1;
@@ -896,7 +1021,10 @@ void HostProtocol::repair_task_sends(
         s.acked = true;
         continue;
       }
-      s.to = tree.parent(host_);
+      // An ex-member still relaying has no tree position any more: hand
+      // the upward copy to the root, which floods the whole repaired
+      // tree (already-holding members re-ACK the duplicates away).
+      s.to = tree.contains(host_) ? tree.parent(host_) : tree.root();
     }
     s.attempts = 0;  // fresh back-off history toward the new target
     s.first_tx = sim_.now();
@@ -986,15 +1114,25 @@ void HostProtocol::probe_tick() {
       continue;
     }
     if (now - heard->second < probe_interval()) continue;  // recently heard
-    const auto sent = probe_sent_.find(n);
+    auto sent = probe_sent_.find(n);
     if (sent != probe_sent_.end() &&
-        now - sent->second >= config_.suspicion_timeout) {
+        now - sent->second.last > 2 * probe_interval()) {
+      // Continuity broken: the prober went dormant, or this peer dropped
+      // out of the neighbor set (membership churn) and came back. The
+      // stale pending probe is no evidence — restart the maturity clock
+      // from a fresh probe instead of accusing on ancient history.
+      sent->second.first = now;
+    }
+    if (sent != probe_sent_.end() &&
+        now - sent->second.first >= config_.suspicion_timeout) {
       metrics_.on_suspicion(now);
       WORMTRACE(sim_, kProtoSuspect, host_, -1, 0, n);
       if (failure_listener_) failure_listener_(n);
       continue;
     }
-    if (sent == probe_sent_.end()) probe_sent_.emplace(n, now);
+    if (sent == probe_sent_.end())
+      sent = probe_sent_.emplace(n, ProbeClock{now, now}).first;
+    sent->second.last = now;
     try {
       WORMTRACE(sim_, kProtoProbe, host_, -1, 0, n);
       adapter_.send_control(make_probe_worm(n, WormKind::kProbe));

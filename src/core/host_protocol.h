@@ -79,6 +79,33 @@ class HostProtocol final : public AdapterClient {
   void on_peer_removed(HostId dead,
                        const std::vector<GroupTables::Reattachment>& adopted);
 
+  // --- membership churn (join/leave/rejoin) ----------------------------------
+
+  /// The network spliced this host into group `g`. Sets the delivery view
+  /// floor — messages created before the join are forwarded but never
+  /// delivered here (this host was not one of their destinations) — and, on
+  /// a rejoin, opens a fresh dedup epoch for the group so a rejoin with
+  /// recycled worm IDs is not silently swallowed as a duplicate.
+  void on_self_joined(GroupId g, bool rejoin);
+
+  /// The network spliced this host out of group `g` (voluntary leave, not a
+  /// failure). In-flight forwarding duties still complete; pending local
+  /// deliveries for the group are cancelled (the accounting already stopped
+  /// counting this host as a destination).
+  void on_self_left(GroupId g);
+
+  /// Another host joined group `g`. Patches the hop budget of this host's
+  /// unresolved circuit sends whose remaining window now spans the joiner
+  /// (the splice added one stop), so the circuit tail is not starved.
+  void on_member_joined(GroupId g, HostId joiner);
+
+  /// Another host voluntarily left group `g`; the shared tables are already
+  /// repaired. Like on_peer_removed but scoped to one group and without
+  /// declaring the leaver dead: sends aimed at it are retargeted along the
+  /// repaired structure, nothing is purged, no suspicion state burns.
+  void on_member_left(HostId leaver, GroupId g,
+                      const std::vector<GroupTables::Reattachment>& adopted);
+
   [[nodiscard]] HostId host() const { return host_; }
   [[nodiscard]] const BufferPool& pool() const { return pool_; }
   /// Forwarding tasks currently holding buffer space.
@@ -188,7 +215,10 @@ class HostProtocol final : public AdapterClient {
                                                bool relay_phase) {
     return message_id * 2 + (relay_phase ? 1 : 0);
   }
-  void remember_done(std::uint64_t key);
+  void remember_done(GroupId g, std::uint64_t key);
+  /// The group's dedup window, created on first use. Per-group so a rejoin
+  /// epoch reset cannot forget another group's duplicate memory.
+  [[nodiscard]] DedupWindow& dedup_for(GroupId g);
 
   WormPtr make_data_worm(const TaskPtr& task, const Task::Send& send) const;
   WormPtr make_control_worm(WormKind kind, const WormPtr& data_worm) const;
@@ -277,10 +307,16 @@ class HostProtocol final : public AdapterClient {
   /// message (scheme (b) delivers a message as several fragments).
   std::unordered_map<std::uint64_t, std::int64_t> switch_mcast_rx_;
   /// Recovery-mode dedup memory: keys of fully received (message, phase)
-  /// pairs, bounded to config_.dedup_window entries. A duplicate of a
-  /// remembered key is re-ACKed (its ACK was evidently lost), never
-  /// re-delivered or re-forwarded.
-  DedupWindow done_;
+  /// pairs, bounded to config_.dedup_window entries per group. A duplicate
+  /// of a remembered key is re-ACKed (its ACK was evidently lost), never
+  /// re-delivered or re-forwarded. Per-group so a rejoin resets only its
+  /// own group's epoch (see dedup_for / on_self_joined).
+  std::unordered_map<GroupId, DedupWindow> done_;
+
+  /// Per-group delivery view floor: messages created before this host's
+  /// join time are forwarded but never delivered locally (the destination
+  /// count was fixed at creation, before this host was a member).
+  std::unordered_map<GroupId, Time> view_floor_;
 
   // --- failure detection state ----------------------------------------------
   bool dead_ = false;  // crash-stopped
@@ -289,8 +325,16 @@ class HostProtocol final : public AdapterClient {
   std::unordered_set<HostId> removed_peers_;
   /// Last time any worm from a peer arrived here (suspicion clocks).
   std::unordered_map<HostId, Time> last_heard_;
-  /// First unanswered probe per peer; erased whenever the peer is heard.
-  std::unordered_map<HostId, Time> probe_sent_;
+  /// Unanswered-probe clock per peer; erased whenever the peer is heard.
+  /// `first` anchors the suspicion maturity deadline, `last` proves the
+  /// probing was continuous: a gap (prober dormant, or the peer churned
+  /// out of and back into the neighbor set) restarts the clock, so an
+  /// ancient pending probe can never mature into an instant accusation.
+  struct ProbeClock {
+    Time first = 0;
+    Time last = 0;
+  };
+  std::unordered_map<HostId, ProbeClock> probe_sent_;
   bool prober_armed_ = false;
 
   // --- [VLB96] centralized credit scheme ------------------------------------

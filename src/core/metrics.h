@@ -48,6 +48,21 @@ class Metrics {
   void on_delivery_failed(const std::shared_ptr<MessageContext>& ctx);
   void on_confirmation(const std::shared_ptr<MessageContext>& ctx, Time now);
 
+  // Membership-churn accounting (join/leave/rejoin + overload shedding).
+  void on_join_requested() { ++joins_requested_; }
+  void on_join_applied(Time latency, bool rejoin) {
+    ++joins_applied_;
+    if (rejoin) ++rejoins_;
+    join_latency_.add(static_cast<double>(latency));
+  }
+  /// A join was shed under overload; `final_shed` means its retry budget is
+  /// exhausted and the request will never be applied.
+  void on_join_shed(bool final_shed) {
+    ++joins_shed_;
+    if (final_shed) ++joins_abandoned_;
+  }
+  void on_leave_applied() { ++leaves_; }
+
   // Failure-detection & repair accounting.
   void on_suspicion(Time now) { ++suspicions_; last_suspicion_ = now; }
   void on_repair(Time now) { ++repairs_; last_repair_ = now; }
@@ -100,6 +115,13 @@ class Metrics {
     return messages_disrupted_;
   }
   [[nodiscard]] std::int64_t links_failed() const { return links_failed_; }
+  [[nodiscard]] const SampleSet& join_latency() const { return join_latency_; }
+  [[nodiscard]] std::int64_t joins_requested() const { return joins_requested_; }
+  [[nodiscard]] std::int64_t joins_applied() const { return joins_applied_; }
+  [[nodiscard]] std::int64_t joins_shed() const { return joins_shed_; }
+  [[nodiscard]] std::int64_t joins_abandoned() const { return joins_abandoned_; }
+  [[nodiscard]] std::int64_t rejoins() const { return rejoins_; }
+  [[nodiscard]] std::int64_t leaves() const { return leaves_; }
   [[nodiscard]] Time last_suspicion_time() const { return last_suspicion_; }
   [[nodiscard]] Time last_repair_time() const { return last_repair_; }
   [[nodiscard]] std::int64_t messages_created() const { return created_; }
@@ -138,6 +160,13 @@ class Metrics {
   std::int64_t sends_rerouted_ = 0;
   std::int64_t messages_disrupted_ = 0;
   std::int64_t links_failed_ = 0;
+  SampleSet join_latency_;
+  std::int64_t joins_requested_ = 0;
+  std::int64_t joins_applied_ = 0;
+  std::int64_t joins_shed_ = 0;
+  std::int64_t joins_abandoned_ = 0;
+  std::int64_t rejoins_ = 0;
+  std::int64_t leaves_ = 0;
   Time last_completion_ = 0;
   Time last_suspicion_ = 0;
   Time last_repair_ = 0;

@@ -29,6 +29,7 @@ Network::Network(Topology topo, std::vector<MulticastGroupSpec> groups,
   // The injector always exists (unarmed when no faults are configured) so
   // tests can force faults or schedule outages without rebuilding.
   faults_ = std::make_unique<FaultInjector>(master.fork(0xFA017), config_.faults);
+  membership_rng_ = master.fork(0x3E17B);
   fabric_->install_fault_injector(faults_.get());
   const int n = topo_.num_hosts();
   adapters_.reserve(static_cast<std::size_t>(n));
@@ -114,6 +115,181 @@ void Network::fail_link(LinkId l, Time when) {
     tree_routing_->fail_link(l);
     metrics_.on_link_failed();
   });
+}
+
+int Network::flap_link(LinkId l, Time from, Time until, Time mean_down,
+                       Time mean_up) {
+  const TopoLink& link = topo_.link(l);
+  // One key per link: both directed channels share the schedule (the link
+  // flaps as a unit) and the windows never depend on call order.
+  const std::uint64_t key = 0xF1A90000ull + static_cast<std::uint64_t>(l);
+  const int windows =
+      faults_->schedule_flaps(&fabric_->channel_from(l, link.node_a), from,
+                              until, mean_down, mean_up, key);
+  faults_->schedule_flaps(&fabric_->channel_from(l, link.node_b), from, until,
+                          mean_down, mean_up, key);
+  // Deliberately NOT routing_->fail_link(): the link recovers, so cached
+  // routes stay valid — invalidating them here would bake every transient
+  // outage into the topology forever (the fail_link permanence assumption
+  // flap cycles exist to avoid). Retransmissions bridge each down-window.
+  return windows;
+}
+
+// --- membership churn -------------------------------------------------------
+
+namespace {
+std::uint64_t member_key(GroupId g, HostId h) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(g)) << 32) |
+         static_cast<std::uint32_t>(h);
+}
+}  // namespace
+
+void Network::request_join(GroupId g, HostId h, Time when) {
+  sim_.at(when, [this, g, h] { enqueue_join(g, h, sim_.now(), 0); });
+}
+
+void Network::request_leave(GroupId g, HostId h, Time when) {
+  sim_.at(when, [this, g, h] {
+    // Leaves are never shed: a departure must not be deniable.
+    membership_q_.push_back(MembershipOp{false, g, h, sim_.now(), 0});
+    membership_queue_peak_ =
+        std::max(membership_queue_peak_,
+                 static_cast<std::int64_t>(membership_q_.size()));
+    pump_membership();
+  });
+}
+
+void Network::enqueue_join(GroupId g, HostId h, Time requested_at,
+                           int attempts) {
+  if (attempts == 0) metrics_.on_join_requested();
+  // Every attempt (retries included) re-arms the join-grace obligation:
+  // each request must be applied or shed within the window.
+  WORMTRACE(sim_, kProtoJoinRequest, h, -1, 0, g);
+  const MembershipConfig& m = config_.membership;
+  if (m.queue_limit > 0 &&
+      static_cast<int>(membership_q_.size()) >= m.queue_limit) {
+    const bool final_shed = attempts + 1 >= m.max_join_attempts;
+    metrics_.on_join_shed(final_shed);
+    WORMTRACE(sim_, kProtoJoinShed, h, -1, 0, g);
+    if (!final_shed) {
+      // Capped exponential back-off plus jitter, the NACK-retry discipline:
+      // shed joiners return slowly and never in lockstep.
+      Time delay = m.retry_backoff
+                   << std::min(attempts, 4);  // cap at 16x the base
+      if (m.retry_jitter > 0)
+        delay += membership_rng_.keyed_uniform(
+            0, m.retry_jitter, 0x3E17Bull, member_key(g, h),
+            static_cast<std::uint64_t>(attempts));
+      sim_.after(delay, [this, g, h, requested_at, attempts] {
+        enqueue_join(g, h, requested_at, attempts + 1);
+      });
+    }
+    return;
+  }
+  membership_q_.push_back(MembershipOp{true, g, h, requested_at, attempts});
+  membership_queue_peak_ = std::max(
+      membership_queue_peak_, static_cast<std::int64_t>(membership_q_.size()));
+  pump_membership();
+}
+
+void Network::pump_membership() {
+  if (membership_pump_armed_ || membership_q_.empty()) return;
+  membership_pump_armed_ = true;
+  // One operation per op_cost byte-times: the coordinator's control-plane
+  // bandwidth, and the backpressure that makes the queue bound meaningful.
+  sim_.after(config_.membership.op_cost, [this] {
+    membership_pump_armed_ = false;
+    if (membership_q_.empty()) return;
+    const MembershipOp op = membership_q_.front();
+    membership_q_.pop_front();
+    if (op.join) {
+      apply_join(op);
+    } else {
+      apply_leave(op);
+    }
+    pump_membership();
+  });
+}
+
+void Network::apply_join(const MembershipOp& op) {
+  const std::uint64_t key = member_key(op.group, op.host);
+  if (faults_->host_dead(op.host) || removed_hosts_.count(op.host) > 0) {
+    // The host crashed while its join was queued: resolve the obligation
+    // explicitly as a final shed rather than leaving it dangling.
+    metrics_.on_join_shed(true);
+    WORMTRACE(sim_, kProtoJoinShed, op.host, -1, 0, op.group);
+    return;
+  }
+  const GroupTables::JoinResult jr = tables_->add_member(op.group, op.host);
+  const bool rejoin = jr.joined && former_members_.erase(key) > 0;
+  metrics_.on_join_applied(sim_.now() - op.requested_at, rejoin);
+  WORMTRACE(sim_, kProtoJoinApplied, op.host, -1, 0, op.group);
+  if (!jr.joined) return;  // already a member: applied idempotently
+  if (rejoin) WORMTRACE(sim_, kProtoRejoin, op.host, -1, 0, op.group);
+  joined_at_[key] = sim_.now();
+  // The joiner first (it sets its view floor and, on rejoin, resets the
+  // group's dedup epoch), then every peer patches in-flight hop budgets.
+  protocols_[op.host]->on_self_joined(op.group, rejoin);
+  for (const auto& protocol : protocols_)
+    protocol->on_member_joined(op.group, op.host);
+  if (!scheme_uses_circuit(config_.protocol.scheme)) return;
+  // Settle sweep (circuit schemes only): a worm already inside a channel
+  // or adapter queue carries a hop budget sized for the pre-join circuit,
+  // so the members past the splice point can miss that copy — the one
+  // race no table patch can reach. Give such pre-join messages join_grace
+  // to finish honestly, then write the stragglers off as disrupted so the
+  // run drains (the exact repair_grace discipline, for joins).
+  const Time joined_at = sim_.now();
+  const GroupId g = op.group;
+  sim_.after(config_.membership.join_grace, [this, joined_at, g] {
+    for (const std::shared_ptr<MessageContext>& ctx :
+         metrics_.outstanding_messages())
+      if (ctx->group == g && ctx->created_at <= joined_at)
+        metrics_.abandon_message(ctx);
+  });
+}
+
+void Network::apply_leave(const MembershipOp& op) {
+  if (faults_->host_dead(op.host) || removed_hosts_.count(op.host) > 0)
+    return;  // the crash (and its full repair) superseded the leave
+  if (!tables_->is_member(op.group, op.host)) return;  // duplicate or stale
+  if (tables_->group_size(op.group) <= 1) return;  // sole member: keep group
+  const std::uint64_t key = member_key(op.group, op.host);
+
+  // Accounting triage before the tables forget the member, mirroring
+  // declare_host_dead but scoped: the leaver stays alive, so messages it
+  // *originated* keep completing normally — only its destination role in
+  // this group ends. Messages created before the leaver even joined never
+  // counted it as a destination, so they must not shrink either.
+  const auto joined_it = joined_at_.find(key);
+  const Time member_since = joined_it == joined_at_.end() ? 0 : joined_it->second;
+  for (const std::shared_ptr<MessageContext>& ctx :
+       metrics_.outstanding_messages()) {
+    if (ctx->group != op.group || ctx->origin == op.host) continue;
+    if (ctx->created_at < member_since) continue;  // pre-join: not a dest
+    const std::vector<std::uint64_t>* order =
+        metrics_.order_of(op.host, ctx->group);
+    const bool already_delivered =
+        order != nullptr && std::find(order->begin(), order->end(),
+                                      ctx->message_id) != order->end();
+    if (!already_delivered) metrics_.shrink_destinations(ctx, sim_.now());
+  }
+
+  const GroupTables::RepairStats stats =
+      tables_->remove_member_from(op.group, op.host);
+  repair_stats_.circuits_spliced += stats.circuits_spliced;
+  repair_stats_.subtrees_reparented += stats.subtrees_reparented;
+  repair_stats_.roots_promoted += stats.roots_promoted;
+  former_members_.insert(key);
+  joined_at_.erase(key);
+  metrics_.on_leave_applied();
+  WORMTRACE(sim_, kProtoLeave, op.host, -1, 0, op.group);
+  // The leaver finishes what it holds (forward-only, no new deliveries);
+  // every peer retargets in-flight sends around it. No suspicion, no
+  // repair-grace burn: this is a clean departure, not a failure.
+  protocols_[op.host]->on_self_left(op.group);
+  for (const auto& protocol : protocols_)
+    protocol->on_member_left(op.host, op.group, stats.reattachments);
 }
 
 void Network::declare_host_dead(HostId dead) {
@@ -230,6 +406,17 @@ Network::Summary Network::summary() const {
   s.messages_disrupted = metrics_.messages_disrupted();
   s.unicasts_flushed = mcast_engine_->unicasts_flushed();
   s.last_repair_time = metrics_.last_repair_time();
+  s.joins_requested = metrics_.joins_requested();
+  s.joins_applied = metrics_.joins_applied();
+  s.joins_shed = metrics_.joins_shed();
+  s.joins_abandoned = metrics_.joins_abandoned();
+  s.rejoins = metrics_.rejoins();
+  s.leaves = metrics_.leaves();
+  s.join_latency_mean = metrics_.join_latency().mean();
+  s.join_latency_p95 = metrics_.join_latency().percentile(95.0);
+  s.join_samples = metrics_.join_latency().count();
+  s.membership_queue_peak = membership_queue_peak_;
+  s.flap_windows = faults_->flap_windows();
   return s;
 }
 
@@ -269,6 +456,7 @@ check::CheckReport Network::check_expectations() const {
                             ? p.probe_interval
                             : std::max<Time>(1, p.suspicion_timeout / 4);
   ccfg.repair_grace = p.repair_grace;
+  ccfg.join_grace = config_.membership.join_grace;
   // The idle-flush rule only applies when scheme (c) can actually flush.
   ccfg.idle_flush_threshold =
       config_.switch_mcast.scheme == SwitchMcastScheme::kFlushUnicast
@@ -304,6 +492,16 @@ void Network::register_counters(CounterRegistry& reg) const {
   reg.add("messages_disrupted",
           i64([this] { return metrics_.messages_disrupted(); }));
   reg.add("links_failed", i64([this] { return metrics_.links_failed(); }));
+  reg.add("churn_joins_requested",
+          i64([this] { return metrics_.joins_requested(); }));
+  reg.add("churn_joins_applied", i64([this] { return metrics_.joins_applied(); }));
+  reg.add("churn_rejoins", i64([this] { return metrics_.rejoins(); }));
+  reg.add("churn_leaves", i64([this] { return metrics_.leaves(); }));
+  reg.add("shed_joins", i64([this] { return metrics_.joins_shed(); }));
+  reg.add("shed_joins_final", i64([this] { return metrics_.joins_abandoned(); }));
+  reg.add("membership_queue_peak",
+          i64([this] { return membership_queue_peak_; }));
+  reg.add("flap_windows", i64([this] { return faults_->flap_windows(); }));
   reg.add("fabric_bytes_sent",
           i64([this] { return fabric_->fabric_bytes_sent(); }));
   reg.add("fabric_bytes_swallowed",

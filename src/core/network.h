@@ -5,8 +5,10 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -29,6 +31,34 @@
 
 namespace wormcast {
 
+/// Knobs of the membership-churn coordinator. Joins and leaves flow
+/// through one bounded queue paced at `op_cost` byte-times per operation
+/// (the control-plane cost of a splice); a join arriving at a full queue
+/// is *shed* and retried with capped exponential back-off plus jitter
+/// (the same discipline as NACK retransmission). Leaves are never shed:
+/// a departure must not be deniable, or the leaver would keep receiving
+/// traffic it no longer wants.
+struct MembershipConfig {
+  /// Maximum queued operations before joins are shed. 0 disables
+  /// shedding (an unbounded queue).
+  int queue_limit = 64;
+  /// Byte-times of coordinator work per queued operation.
+  Time op_cost = 2'000;
+  /// Total tries per join intent (initial + retries after sheds); once
+  /// exhausted the shed is final and the join is abandoned.
+  int max_join_attempts = 5;
+  /// Back-off base/jitter between a shed and its retry (doubles per
+  /// attempt, capped at 16x the base).
+  Time retry_backoff = 8'000;
+  Time retry_jitter = 4'000;
+  /// Obligation window: a join request must be applied or shed within
+  /// this long (wormcheck's join-grace rule), and a freshly applied join
+  /// gives pre-join in-flight messages this long to finish before the
+  /// settle sweep writes them off (mirrors repair_grace: a worm already
+  /// in a channel carries a hop budget sized for the pre-join circuit).
+  Time join_grace = 150'000;
+};
+
 struct ExperimentConfig {
   FabricConfig fabric;
   AdapterConfig adapter;
@@ -39,6 +69,7 @@ struct ExperimentConfig {
   /// Injected faults (all rates 0 = the lossless fabric). Pair nonzero
   /// rates with protocol.ack_timeout so senders can actually recover.
   FaultConfig faults;
+  MembershipConfig membership;
   std::uint64_t seed = 1;
 };
 
@@ -106,6 +137,36 @@ class Network {
   /// (tolerating a partitioned residue), invalidating every cached route
   /// so retransmissions travel the healed paths.
   void fail_link(LinkId l, Time when);
+
+  /// Schedules *flap cycles* on link `l` between `from` and `until`: both
+  /// directed channels go down and come back together, with keyed-random
+  /// down/up windows around the given means. Unlike fail_link the link
+  /// recovers, so routing is deliberately NOT recomputed — cached routes
+  /// stay valid and retransmissions bridge the outage windows. The
+  /// schedule is a pure function of (seed, link id): bit-identical at any
+  /// --jobs. Returns the number of down-windows scheduled.
+  int flap_link(LinkId l, Time from, Time until, Time mean_down, Time mean_up);
+
+  // --- membership churn -------------------------------------------------
+
+  /// Asks the membership coordinator to add `h` to group `g` at `when`.
+  /// The join queues behind earlier operations (op_cost pacing); under
+  /// overload it is shed and retried with back-off up to
+  /// membership.max_join_attempts. A join of a current member is applied
+  /// idempotently; a join of a former member is a *rejoin* and resets the
+  /// group's dedup epoch at the joiner.
+  void request_join(GroupId g, HostId h, Time when);
+
+  /// Asks the coordinator to remove `h` from group `g` at `when` — a
+  /// clean, voluntary departure: no suspicion, no repair-grace burn, and
+  /// the leaver finishes forwarding what it already holds. Leaves queue
+  /// like joins but are never shed.
+  void request_leave(GroupId g, HostId h, Time when);
+
+  /// Deepest the membership queue ever got (overload indicator).
+  [[nodiscard]] std::int64_t membership_queue_peak() const {
+    return membership_queue_peak_;
+  }
 
   /// Declares `dead` crashed and repairs every shared structure around it:
   /// abandons/shrinks affected message accounting, splices `dead` out of
@@ -199,10 +260,36 @@ class Network {
     std::int64_t messages_disrupted = 0;   // abandoned at repair time
     std::int64_t unicasts_flushed = 0;     // scheme (c) switch-side flushes
     Time last_repair_time = 0;
+    // Membership churn (joins/leaves/rejoins + overload shedding).
+    std::int64_t joins_requested = 0;      // distinct join intents
+    std::int64_t joins_applied = 0;
+    std::int64_t joins_shed = 0;           // shed events (retries may follow)
+    std::int64_t joins_abandoned = 0;      // sheds with no retry budget left
+    std::int64_t rejoins = 0;
+    std::int64_t leaves = 0;
+    double join_latency_mean = 0.0;        // request -> applied, byte-times
+    double join_latency_p95 = 0.0;
+    std::int64_t join_samples = 0;
+    std::int64_t membership_queue_peak = 0;
+    std::int64_t flap_windows = 0;         // recovering link outages scheduled
   };
   [[nodiscard]] Summary summary() const;
 
  private:
+  /// One queued membership operation. `requested_at` is the *first*
+  /// request time, so join latency includes time lost to sheds.
+  struct MembershipOp {
+    bool join = false;
+    GroupId group = kNoGroup;
+    HostId host = kNoHost;
+    Time requested_at = 0;
+    int attempts = 0;  // tries consumed (sheds included)
+  };
+  void enqueue_join(GroupId g, HostId h, Time requested_at, int attempts);
+  void pump_membership();
+  void apply_join(const MembershipOp& op);
+  void apply_leave(const MembershipOp& op);
+
   Topology topo_;
   std::vector<MulticastGroupSpec> groups_;
   ExperimentConfig config_;
@@ -219,6 +306,18 @@ class Network {
   std::unique_ptr<TrafficGenerator> traffic_;
   std::unique_ptr<DeadlockWatchdog> watchdog_;
   std::unordered_set<HostId> removed_hosts_;
+  // Membership coordinator state.
+  std::deque<MembershipOp> membership_q_;
+  bool membership_pump_armed_ = false;
+  std::int64_t membership_queue_peak_ = 0;
+  RandomStream membership_rng_{0};  // retry-jitter draws (reseeded in ctor)
+  /// (group << 32 | host) keys of members that left — a later join of such
+  /// a pair is a *rejoin* (the group's dedup state must reset).
+  std::unordered_set<std::uint64_t> former_members_;
+  /// Join time of members added after construction; a message created
+  /// before a member's join never counted it as a destination, so a later
+  /// leave must not shrink that message's destination set.
+  std::unordered_map<std::uint64_t, Time> joined_at_;
   GroupTables::RepairStats repair_stats_;
   Time measure_span_ = 0;
   std::int64_t egress_at_window_start_ = 0;

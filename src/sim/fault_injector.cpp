@@ -1,5 +1,6 @@
 #include "sim/fault_injector.h"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
@@ -25,6 +26,7 @@ constexpr std::uint64_t kKillSalt = 0x4B114ull;
 constexpr std::uint64_t kTruncSalt = 0x72C47ull;
 constexpr std::uint64_t kCtrlSalt = 0xC7121ull;
 constexpr std::uint64_t kRxSalt = 0x52D20ull;
+constexpr std::uint64_t kFlapSalt = 0xF1A9ull;
 
 std::uint64_t draw_key(std::uint64_t salt, WormId id, Time now) {
   return salt ^ (id * 0x9e3779b97f4a7c15ULL) ^ static_cast<std::uint64_t>(now);
@@ -101,6 +103,35 @@ bool FaultInjector::link_down(const void* channel, Time now) const {
     if (now >= o.from && now < o.until) return true;
   }
   return false;
+}
+
+int FaultInjector::schedule_flaps(const void* channel, Time from, Time horizon,
+                                  Time mean_down, Time mean_up,
+                                  std::uint64_t key) {
+  assert(mean_down >= 2 && mean_up >= 2 && from < horizon);
+  int windows = 0;
+  Time t = from;
+  std::uint64_t i = 0;
+  while (t < horizon) {
+    // Each interval is keyed by (key, index): the schedule depends only on
+    // the injector seed and the caller's key, never on call interleaving.
+    const Time down = rng_.keyed_uniform(
+        mean_down / 2, mean_down + mean_down / 2,
+        draw_key(kFlapSalt, key, static_cast<Time>(2 * i)), key, 2 * i);
+    const Time up = rng_.keyed_uniform(
+        mean_up / 2, mean_up + mean_up / 2,
+        draw_key(kFlapSalt, key, static_cast<Time>(2 * i + 1)), key, 2 * i + 1);
+    const Time until = std::min(t + down, horizon);
+    if (until > t) {
+      outages_.push_back(Outage{channel, t, until});
+      ++windows;
+    }
+    t = until + up;
+    ++i;
+  }
+  flap_windows_ += windows;
+  rearm();
+  return windows;
 }
 
 void FaultInjector::kill_link(const void* channel) {

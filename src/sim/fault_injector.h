@@ -104,6 +104,19 @@ class FaultInjector {
   /// double-querying a channel never double-counts.
   [[nodiscard]] bool link_down(const void* channel, Time now) const;
 
+  /// Schedules a flap cycle: alternating down/up windows on `channel` from
+  /// `from` until `horizon`, with each down (up) interval drawn keyed-
+  /// uniform in [mean/2, 3*mean/2] around `mean_down` (`mean_up`). Unlike
+  /// kill_link, every outage window ends — the link *recovers* — and no
+  /// route recomputation happens, so retransmissions bridge the gaps. The
+  /// windows are a pure function of (seed, key, index): bit-identical at
+  /// any --jobs. Returns the number of down-windows scheduled.
+  int schedule_flaps(const void* channel, Time from, Time horizon,
+                     Time mean_down, Time mean_up, std::uint64_t key);
+
+  /// Down-windows scheduled by schedule_flaps (all of them recover).
+  [[nodiscard]] std::int64_t flap_windows() const { return flap_windows_; }
+
   /// Records one worm swallowed by an outage / dead link.
   void note_outage_drop() { ++outage_drops_; }
 
@@ -172,6 +185,7 @@ class FaultInjector {
   std::int64_t rx_dropped_ = 0;
   std::int64_t outage_drops_ = 0;
   std::int64_t links_killed_ = 0;
+  std::int64_t flap_windows_ = 0;
 };
 
 }  // namespace wormcast

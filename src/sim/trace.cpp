@@ -39,6 +39,12 @@ const char* trace_event_name(TraceEventType type) {
     case TraceEventType::kProtoDeliver: return "proto.deliver";
     case TraceEventType::kProtoRelease: return "proto.release";
     case TraceEventType::kProtoCrash: return "proto.crash";
+    case TraceEventType::kProtoJoinRequest: return "proto.join_req";
+    case TraceEventType::kProtoJoinApplied: return "proto.join";
+    case TraceEventType::kProtoJoinShed: return "proto.join_shed";
+    case TraceEventType::kProtoLeave: return "proto.leave";
+    case TraceEventType::kProtoRejoin: return "proto.rejoin";
+    case TraceEventType::kProtoDedupReset: return "proto.dedup_reset";
   }
   return "unknown";
 }
@@ -82,6 +88,12 @@ TraceTrack trace_track_of(TraceEventType type) {
     case TraceEventType::kProtoDeliver:
     case TraceEventType::kProtoRelease:
     case TraceEventType::kProtoCrash:
+    case TraceEventType::kProtoJoinRequest:
+    case TraceEventType::kProtoJoinApplied:
+    case TraceEventType::kProtoJoinShed:
+    case TraceEventType::kProtoLeave:
+    case TraceEventType::kProtoRejoin:
+    case TraceEventType::kProtoDedupReset:
       return TraceTrack::kHost;
   }
   return TraceTrack::kHost;

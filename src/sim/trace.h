@@ -66,6 +66,14 @@ enum class TraceEventType : std::uint8_t {
   kProtoDeliver,     // payload handed to the application; arg = origin host
   kProtoRelease,     // forwarding reservation returned; arg = bytes freed
   kProtoCrash,       // this host crash-stopped (silent to its peers)
+
+  // Membership churn (track: "host h<host>"; arg = group id unless noted).
+  kProtoJoinRequest,  // join submitted to the membership coordinator
+  kProtoJoinApplied,  // join spliced into the group structures
+  kProtoJoinShed,     // join shed under overload (retry may follow)
+  kProtoLeave,        // voluntary departure applied (clean, not a failure)
+  kProtoRejoin,       // join recognized as a rejoin of a former member
+  kProtoDedupReset,   // rejoin epoch: the group's dedup window was reset
 };
 
 /// Export track families (one Perfetto thread per (track, node, port)).

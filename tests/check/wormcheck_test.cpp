@@ -479,5 +479,119 @@ TEST(CheckExpectations, DuplicateDeliveryIsCaughtByDedupRule) {
   EXPECT_EQ(rep.violations[0].window_end, dup.t);
 }
 
+// --- the membership-churn rules, isolated from the standard pack ------------
+// These pull the *real* rule out of standard_rules by name, so the tests
+// pin the shipped wiring (matchers, windows, excuses) and not a re-typed
+// copy. Membership events carry worm=0, node=member, arg=group; a suspect
+// event carries node=accuser, arg=suspect.
+
+check::CheckConfig churn_cfg() {
+  check::CheckConfig cfg;
+  cfg.join_grace = 1'000;
+  cfg.suspicion_timeout = 500;
+  cfg.slack = 100;
+  return cfg;
+}
+
+std::vector<Expectation> named_rule(const check::CheckConfig& cfg,
+                                    const std::string& name) {
+  std::vector<Expectation> out;
+  for (Expectation& r : check::standard_rules(cfg))
+    if (r.name() == name) out.push_back(std::move(r));
+  return out;
+}
+
+TEST(ChurnRules, JoinGraceSatisfiedByApplyOrShed) {
+  const auto rules = [] { return named_rule(churn_cfg(), "join-grace"); };
+  std::vector<TraceEvent> applied;
+  applied.push_back(make_event(100, T::kProtoJoinRequest, 3, 0, 0));
+  applied.push_back(make_event(600, T::kProtoJoinApplied, 3, 0, 0));
+  applied.push_back(make_event(5'000, T::kChanGo, 0, 0, 0));  // horizon
+  EXPECT_TRUE(run_checks(applied, rules()).ok());
+
+  std::vector<TraceEvent> shed;
+  shed.push_back(make_event(100, T::kProtoJoinRequest, 3, 0, 0));
+  shed.push_back(make_event(600, T::kProtoJoinShed, 3, 0, 0));
+  shed.push_back(make_event(5'000, T::kChanGo, 0, 0, 0));
+  EXPECT_TRUE(run_checks(shed, rules()).ok());
+}
+
+TEST(ChurnRules, JoinDanglingInQueueIsViolated) {
+  std::vector<TraceEvent> events;
+  events.push_back(make_event(100, T::kProtoJoinRequest, 3, 0, 0));
+  // Another host's join applying is no answer for host 3.
+  events.push_back(make_event(600, T::kProtoJoinApplied, 5, 0, 0));
+  events.push_back(make_event(5'000, T::kChanGo, 0, 0, 0));
+  const CheckReport rep =
+      run_checks(events, named_rule(churn_cfg(), "join-grace"));
+  ASSERT_EQ(rep.violations.size(), 1u) << rep.format();
+  EXPECT_EQ(rep.violations[0].rule, "join-grace");
+  // Window = join_grace + slack past the request.
+  EXPECT_EQ(rep.violations[0].window_end, 100 + 1'000 + 100);
+}
+
+TEST(ChurnRules, JoinWaivedWhenJoinerCrashesAndGraceZeroDisables) {
+  std::vector<TraceEvent> events;
+  events.push_back(make_event(100, T::kProtoJoinRequest, 3, 0, 0));
+  events.push_back(make_event(400, T::kProtoCrash, 3, 0, 0));
+  events.push_back(make_event(5'000, T::kChanGo, 0, 0, 0));
+  EXPECT_TRUE(run_checks(events, named_rule(churn_cfg(), "join-grace")).ok());
+
+  check::CheckConfig off = churn_cfg();
+  off.join_grace = 0;  // rule inactive: the dangling request is not judged
+  std::vector<TraceEvent> dangling;
+  dangling.push_back(make_event(100, T::kProtoJoinRequest, 3, 0, 0));
+  dangling.push_back(make_event(5'000, T::kChanGo, 0, 0, 0));
+  const CheckReport rep = run_checks(dangling, named_rule(off, "join-grace"));
+  EXPECT_TRUE(rep.ok());
+  EXPECT_EQ(rep.obligations, 0);
+}
+
+TEST(ChurnRules, VoluntaryLeaveMustNeverBeSuspected) {
+  const auto rules = [] {
+    return named_rule(churn_cfg(), "leave-no-suspect");
+  };
+  // Host 4 leaves; host 2 accuses it shortly after: violation.
+  std::vector<TraceEvent> bad;
+  bad.push_back(make_event(100, T::kProtoLeave, 4, 0, 0));
+  bad.push_back(make_event(300, T::kProtoSuspect, 2, 0, 4));
+  const CheckReport rep = run_checks(bad, rules());
+  ASSERT_EQ(rep.violations.size(), 1u) << rep.format();
+  EXPECT_EQ(rep.violations[0].rule, "leave-no-suspect");
+
+  // A suspicion with no leave in the lookback is out of scope here.
+  std::vector<TraceEvent> clean;
+  clean.push_back(make_event(100, T::kProtoLeave, 6, 0, 0));  // other host
+  clean.push_back(make_event(300, T::kProtoSuspect, 2, 0, 4));
+  EXPECT_TRUE(run_checks(clean, rules()).ok());
+
+  // The leaver genuinely crashing afterwards makes the accusation fair.
+  std::vector<TraceEvent> crashed;
+  crashed.push_back(make_event(100, T::kProtoLeave, 4, 0, 0));
+  crashed.push_back(make_event(200, T::kProtoCrash, 4, 0, 0));
+  crashed.push_back(make_event(300, T::kProtoSuspect, 2, 0, 4));
+  EXPECT_TRUE(run_checks(crashed, rules()).ok());
+}
+
+TEST(ChurnRules, RejoinMustResetTheDedupEpoch) {
+  const auto rules = [] {
+    return named_rule(churn_cfg(), "rejoin-fresh-dedup");
+  };
+  std::vector<TraceEvent> good;
+  good.push_back(make_event(100, T::kProtoRejoin, 3, 0, 1));
+  good.push_back(make_event(100, T::kProtoDedupReset, 3, 0, 1));
+  good.push_back(make_event(5'000, T::kChanGo, 0, 0, 0));
+  EXPECT_TRUE(run_checks(good, rules()).ok());
+
+  std::vector<TraceEvent> bad;
+  bad.push_back(make_event(100, T::kProtoRejoin, 3, 0, 1));
+  // A reset for a *different group* at the same member does not count.
+  bad.push_back(make_event(100, T::kProtoDedupReset, 3, 0, 2));
+  bad.push_back(make_event(5'000, T::kChanGo, 0, 0, 0));
+  const CheckReport rep = run_checks(bad, rules());
+  ASSERT_EQ(rep.violations.size(), 1u) << rep.format();
+  EXPECT_EQ(rep.violations[0].rule, "rejoin-fresh-dedup");
+}
+
 }  // namespace
 }  // namespace wormcast

@@ -62,6 +62,38 @@ TEST(DedupWindow, SetAndFifoStayCoherentUnderChurn) {
   }
 }
 
+TEST(DedupWindow, ResetForgetsEverythingAndOpensNewEpoch) {
+  DedupWindow w(4);
+  EXPECT_EQ(w.epoch(), 0u);
+  w.insert(1);
+  w.insert(2);
+  w.reset();
+  EXPECT_EQ(w.epoch(), 1u);
+  EXPECT_EQ(w.size(), 0u);
+  EXPECT_EQ(w.set_size(), 0u);
+  EXPECT_FALSE(w.contains(1));
+  // A key the old epoch had recorded counts as new again — the rejoin
+  // guarantee: pre-leave IDs must not swallow post-rejoin deliveries.
+  EXPECT_TRUE(w.insert(1));
+  EXPECT_TRUE(w.contains(1));
+}
+
+TEST(DedupWindow, ResetKeepsCapacityAndInvariants) {
+  DedupWindow w(2);
+  w.insert(1);
+  w.insert(2);
+  w.insert(3);  // evicts 1
+  w.reset();
+  w.reset();  // idempotent on empty state, still bumps the epoch
+  EXPECT_EQ(w.epoch(), 2u);
+  EXPECT_EQ(w.capacity(), 2u);
+  for (std::uint64_t k = 0; k < 10; ++k) {
+    w.insert(k % 3);
+    EXPECT_EQ(w.size(), w.set_size());
+    EXPECT_LE(w.size(), w.capacity());
+  }
+}
+
 TEST(DedupWindow, ZeroCapacityIsClampedToOne) {
   DedupWindow w(0);
   EXPECT_EQ(w.capacity(), 1u);

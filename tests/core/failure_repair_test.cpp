@@ -397,5 +397,78 @@ TEST(FailureRepair, Acceptance64HostTenGroups) {
   expect_survivors_clean(net, dead);
 }
 
+// --- membership churn racing failures ---------------------------------------
+
+// A host crashes while its join request is still queued in the membership
+// coordinator: the apply step must notice the death and finally shed the
+// join (never splicing a corpse into the circuit), and the join-grace
+// expectation must still account for the request.
+TEST(FailureRepair, CrashMidJoinShedsInsteadOfSplicingACorpse) {
+  ExperimentConfig cfg = repair_config(Scheme::kHamiltonianSF);
+  cfg.membership.op_cost = 20'000;  // the join sits queued past the crash
+  MulticastGroupSpec g0{0, {0, 1, 2, 3}};
+  Network net(make_myrinet_testbed(), {g0}, cfg);
+  net.enable_tracing(std::size_t{1} << 18);
+  net.request_join(0, 5, 1'000);
+  net.crash_host(5, 5'000);  // dies with the join still in the queue
+  for (int i = 0; i < 8; ++i) {
+    const HostId src = static_cast<HostId>(i % 4);
+    net.sim().at(1'000 + i * 2'000,
+                 [&net, src] { inject_group_mcast(net, 0, src, 300); });
+  }
+  net.run_to_quiescence();
+
+  const Network::Summary s = net.summary();
+  EXPECT_EQ(s.joins_requested, 1);
+  EXPECT_EQ(s.joins_applied, 0);
+  EXPECT_EQ(s.joins_abandoned, 1) << "the dead joiner must be finally shed";
+  EXPECT_FALSE(net.tables().is_member(0, 5));
+  EXPECT_EQ(net.tables().circuit(0).order(), (std::vector<HostId>{0, 1, 2, 3}));
+  expect_survivors_clean(net, {5});
+  expect_exactly_once(net, 0, {5});
+
+  const check::CheckReport rep = net.check_expectations();
+  EXPECT_TRUE(rep.ok()) << rep.format();
+}
+
+// A voluntary leave races an in-flight failure repair: host 3 crashes
+// under load (detector path), and host 5 leaves the same group while the
+// suspicion/repair machinery is working on the corpse. The leave must stay
+// a clean departure (never suspected), the crash must still be repaired,
+// and the causal history must satisfy the full expectation pack.
+TEST(FailureRepair, LeaveRacingInFlightRepairStaysClean) {
+  ExperimentConfig cfg = repair_config(Scheme::kHamiltonianSF);
+  cfg.protocol.suspicion_timeout = 40'000;
+  Network net(make_myrinet_testbed(), {full_group(8)}, cfg);
+  net.enable_tracing(std::size_t{1} << 18);
+  const Time crash_at = 15'000;
+  net.crash_host(3, crash_at);
+  // The leave lands inside the detection window: suspicion of host 3 is
+  // pending while the coordinator splices host 5 out.
+  net.request_leave(0, 5, crash_at + 10'000);
+  for (int i = 0; i < 24; ++i) {
+    const HostId src = static_cast<HostId>((i * 3) % 8 == 3 ? 1 : (i * 3) % 8);
+    net.sim().at(1'000 + i * 2'000,
+                 [&net, src] { inject_group_mcast(net, 0, src, 300); });
+  }
+  net.run_to_quiescence();
+
+  const Network::Summary s = net.summary();
+  EXPECT_EQ(s.hosts_removed, 1) << "the real crash must still be repaired";
+  EXPECT_TRUE(net.host_removed(3));
+  EXPECT_FALSE(net.host_removed(5)) << "the leaver is alive, not a corpse";
+  EXPECT_EQ(s.leaves, 1);
+  EXPECT_FALSE(net.tables().is_member(0, 5));
+  // Circuit healed around both departures, in order.
+  EXPECT_EQ(net.tables().circuit(0).order(),
+            (std::vector<HostId>{0, 1, 2, 4, 6, 7}));
+  expect_survivors_clean(net, {3, 5});
+  expect_exactly_once(net, 0, {3, 5});
+
+  const check::CheckReport rep = net.check_expectations();
+  EXPECT_TRUE(rep.ok()) << rep.format();
+  EXPECT_GT(rep.obligations, 0);
+}
+
 }  // namespace
 }  // namespace wormcast

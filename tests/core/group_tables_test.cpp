@@ -190,5 +190,78 @@ TEST_F(GroupTablesTest, GroupTablesRemoveMemberRepairsEveryGroup) {
   }
 }
 
+// --- in-place join (dynamic membership splice-in) ---------------------------
+
+TEST_F(GroupTablesTest, CircuitInsertSplicesAtSortedPosition) {
+  CircuitTable c({3, 7, 12});
+  EXPECT_EQ(c.insert(9), 7);  // 7's successor changes from 12 to 9
+  EXPECT_EQ(c.order(), (std::vector<HostId>{3, 7, 9, 12}));
+  EXPECT_EQ(c.next(7), 9);
+  EXPECT_EQ(c.next(9), 12);
+  EXPECT_EQ(c.insert(9), kNoHost);  // already a member: no-op
+  // Inserting below the lowest: the highest member's wrap edge retargets.
+  EXPECT_EQ(c.insert(1), 12);
+  EXPECT_EQ(c.order(), (std::vector<HostId>{1, 3, 7, 9, 12}));
+  EXPECT_EQ(c.next(12), 1);
+  // Inserting above the highest: the wrap moves onto the joiner.
+  EXPECT_EQ(c.insert(14), 12);
+  EXPECT_EQ(c.next(12), 14);
+  EXPECT_EQ(c.next(14), 1);
+}
+
+TEST_F(GroupTablesTest, TreeAddMemberAttachesWithoutMovingEdges) {
+  TreeTable t({2, 5, 8, 11}, routing_, /*max_fanout=*/2);
+  std::unordered_map<HostId, HostId> before;
+  for (const HostId m : t.members()) before[m] = t.parent(m);
+
+  const TreeTable::AddResult r = t.add_member(9, routing_, 2);
+  ASSERT_TRUE(r.added);
+  EXPECT_FALSE(r.became_root);
+  EXPECT_LT(r.parent, 9) << "greedy attach must keep parent-ID < child-ID";
+  EXPECT_EQ(t.parent(9), r.parent);
+  EXPECT_TRUE(t.contains(9));
+  EXPECT_EQ(t.size(), 5);
+  // Incremental: no existing member's parent changed.
+  for (const auto& [m, p] : before) EXPECT_EQ(t.parent(m), p);
+  // Idempotent on re-add.
+  EXPECT_FALSE(t.add_member(9, routing_, 2).added);
+}
+
+TEST_F(GroupTablesTest, TreeAddMemberBelowRootAdoptsNewRoot) {
+  TreeTable t({4, 6, 10}, routing_);
+  ASSERT_EQ(t.root(), 4);
+  const TreeTable::AddResult r = t.add_member(1, routing_, 0);
+  ASSERT_TRUE(r.added);
+  EXPECT_TRUE(r.became_root);
+  EXPECT_EQ(t.root(), 1);
+  EXPECT_EQ(t.parent(1), kNoHost);
+  // The old root is the new root's only child; nobody else re-parented.
+  EXPECT_EQ(t.parent(4), 1);
+  EXPECT_EQ(t.children(1), (std::vector<HostId>{4}));
+  for (const HostId m : t.members())
+    if (m != t.root()) EXPECT_LT(t.parent(m), m);
+}
+
+TEST_F(GroupTablesTest, GroupTablesAddMemberSplicesCircuitAndTree) {
+  MulticastGroupSpec g0{0, {1, 4, 7}};
+  GroupTables tables({g0}, routing_);
+
+  const GroupTables::JoinResult r = tables.add_member(0, 5);
+  ASSERT_TRUE(r.joined);
+  EXPECT_EQ(r.circuit_pred, 4);
+  EXPECT_TRUE(tables.is_member(0, 5));
+  EXPECT_EQ(tables.circuit(0).order(), (std::vector<HostId>{1, 4, 5, 7}));
+  EXPECT_TRUE(tables.tree(0).contains(5));
+  EXPECT_LT(tables.tree(0).parent(5), 5);
+  // Re-join after a voluntary leave restores membership cleanly.
+  tables.remove_member_from(0, 5);
+  EXPECT_FALSE(tables.is_member(0, 5));
+  const GroupTables::JoinResult again = tables.add_member(0, 5);
+  EXPECT_TRUE(again.joined);
+  EXPECT_EQ(tables.circuit(0).order(), (std::vector<HostId>{1, 4, 5, 7}));
+  // Already a member: idempotent no-op.
+  EXPECT_FALSE(tables.add_member(0, 5).joined);
+}
+
 }  // namespace
 }  // namespace wormcast
