@@ -34,6 +34,9 @@ namespace wormcast::bench {
 ///   --check           run wormcheck protocol expectations over every sweep
 ///                     point's trace; any violation (or checker refusal)
 ///                     fails the run with exit 1 and a deterministic report
+///   --strategy NAME   tree strategy for benches that support it
+///                     (single-root | partition-merge | load-aware |
+///                     multi-root); rejected here so a typo fails fast
 struct BenchArgs {
   bool quick = false;
   bool check = false;
@@ -44,6 +47,8 @@ struct BenchArgs {
   /// capacity (and refuses loudly if the ring wraps) instead of auto-sizing.
   bool trace_cap_explicit = false;
   std::string trace_out;
+  TreeStrategyKind strategy = TreeStrategyKind::kSingleRoot;
+  bool strategy_explicit = false;
 };
 
 /// Ring capacity --check auto-sizes to when --trace-cap is not given:
@@ -76,10 +81,21 @@ inline BenchArgs parse_bench_args(int argc, char** argv) {
       }
     } else if (arg == "--trace-out" && i + 1 < argc) {
       args.trace_out = argv[++i];
+    } else if (arg == "--strategy" && i + 1 < argc) {
+      const char* name = argv[++i];
+      if (!parse_tree_strategy(name, &args.strategy)) {
+        std::fprintf(stderr,
+                     "unknown tree strategy '%s' (expected single-root, "
+                     "partition-merge, load-aware, or multi-root)\n",
+                     name);
+        std::exit(2);
+      }
+      args.strategy_explicit = true;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--quick] [--check] [--jobs N] [--reps N] "
-                   "[--trace-cap N] [--trace-out <file.trace.json>]\n",
+                   "[--trace-cap N] [--trace-out <file.trace.json>] "
+                   "[--strategy NAME]\n",
                    argv[0]);
       std::exit(2);
     }

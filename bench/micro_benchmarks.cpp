@@ -61,7 +61,7 @@ void BM_McastRouteEncodeSplit(benchmark::State& state) {
   const UpDownRouting routing(topo, opts);
   std::vector<HostId> dests;
   for (HostId h = 1; h < 64; h += 4) dests.push_back(h);
-  const auto branches = build_mcast_branches(topo, routing, 0, dests);
+  const auto branches = build_mcast_branches(routing, 0, dests);
   for (auto _ : state) {
     const auto enc = EncodedMcastRoute::encode(branches);
     benchmark::DoNotOptimize(enc.split());

@@ -159,8 +159,11 @@ class HostAdapter final : public ByteFeed, public RxSink {
   [[nodiscard]] Time next_byte_time() const override;
 
   // RxSink (receive side; called by the host's downlink channel).
-  void on_head(const WormPtr& worm, std::int64_t wire_len) override;
+  void on_head(const WormPtr& worm, std::int64_t wire_len, bool tail) override;
   void on_body(bool tail) override;
+  /// Tail-byte completion: closes the in-progress reception (also invoked
+  /// straight from on_head for single-byte trailer-only fragments).
+  void finish_rx();
   [[nodiscard]] std::int64_t rx_burst_budget() const override;
   void on_body_burst(std::int64_t n, bool tail) override;
 

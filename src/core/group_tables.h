@@ -12,9 +12,11 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <unordered_map>
 #include <vector>
 
+#include "net/tree_strategy.h"
 #include "net/updown.h"
 #include "sim/types.h"
 #include "traffic/groups.h"
@@ -64,9 +66,18 @@ class CircuitTable {
 /// Rooted multicast tree over one group's members (Figure 9).
 class TreeTable {
  public:
+  /// Cost of attaching `child` (second argument) under `parent` (first);
+  /// the greedy construction minimizes it per insertion. The plain metric
+  /// is the unicast hop count; tree strategies substitute their own (e.g.
+  /// load-penalized) metric via GroupTables.
+  using EdgeCost = std::function<int(HostId, HostId)>;
+
   TreeTable() = default;
   /// Builds the ID-ordered greedy tree. `max_fanout` caps children per
   /// node (0 = unlimited).
+  TreeTable(std::vector<HostId> members, const EdgeCost& cost,
+            int max_fanout = 0);
+  /// Convenience: edge cost = `routing`'s unicast hop count.
   TreeTable(std::vector<HostId> members, const UpDownRouting& routing,
             int max_fanout = 0);
 
@@ -94,6 +105,7 @@ class TreeTable {
   /// full), so the parent-ID < child-ID invariant survives repair. If the
   /// root died, the lowest surviving ID — necessarily one of the root's own
   /// children — is promoted in place.
+  RemovalResult remove_member(HostId h, const EdgeCost& cost, int max_fanout);
   RemovalResult remove_member(HostId h, const UpDownRouting& routing,
                               int max_fanout);
 
@@ -109,6 +121,7 @@ class TreeTable {
   /// min-hop parent among lower-ID members with fanout slack (cap relaxed
   /// only when every candidate is full). A joiner below the current root
   /// becomes the new root instead. No existing edge moves either way.
+  AddResult add_member(HostId h, const EdgeCost& cost, int max_fanout);
   AddResult add_member(HostId h, const UpDownRouting& routing, int max_fanout);
 
  private:
@@ -122,8 +135,12 @@ class TreeTable {
 /// in place when the failure detector declares a member dead.
 class GroupTables {
  public:
+  /// `strategy`, when given, supplies the per-group tree attach-cost metric
+  /// (TreeStrategy::attach_cost); it must outlive the tables. Without one,
+  /// the metric is `routing`'s unicast hop count (the paper's rule).
   GroupTables(const std::vector<MulticastGroupSpec>& specs,
-              const UpDownRouting& routing, int max_tree_fanout = 0);
+              const UpDownRouting& routing, int max_tree_fanout = 0,
+              const TreeStrategy* strategy = nullptr);
 
   [[nodiscard]] const CircuitTable& circuit(GroupId g) const;
   [[nodiscard]] const TreeTable& tree(GroupId g) const;
@@ -173,8 +190,13 @@ class GroupTables {
   JoinResult add_member(GroupId g, HostId h);
 
  private:
+  /// The attach-cost metric for group `g` (strategy-supplied or plain hop
+  /// count). The returned callable borrows `this`: use-and-drop only.
+  [[nodiscard]] TreeTable::EdgeCost edge_cost(GroupId g) const;
+
   const UpDownRouting& routing_;
   int max_tree_fanout_ = 0;
+  const TreeStrategy* strategy_ = nullptr;
   std::unordered_map<GroupId, CircuitTable> circuits_;
   std::unordered_map<GroupId, TreeTable> trees_;
 };

@@ -51,6 +51,7 @@ bool Metrics::on_delivered(const std::shared_ptr<MessageContext>& ctx,
     if (outstanding_.erase(ctx->message_id) > 0) {
       ++completed_;
       last_completion_ = now;
+      if (message_closed_hook_) message_closed_hook_(ctx);
     }
     return true;
   }
@@ -59,11 +60,15 @@ bool Metrics::on_delivered(const std::shared_ptr<MessageContext>& ctx,
 
 void Metrics::on_delivery_failed(const std::shared_ptr<MessageContext>& ctx) {
   ++deliveries_failed_;
-  outstanding_.erase(ctx->message_id);
+  if (outstanding_.erase(ctx->message_id) > 0 && message_closed_hook_)
+    message_closed_hook_(ctx);
 }
 
 void Metrics::abandon_message(const std::shared_ptr<MessageContext>& ctx) {
-  if (outstanding_.erase(ctx->message_id) > 0) ++messages_disrupted_;
+  if (outstanding_.erase(ctx->message_id) > 0) {
+    ++messages_disrupted_;
+    if (message_closed_hook_) message_closed_hook_(ctx);
+  }
 }
 
 bool Metrics::shrink_destinations(const std::shared_ptr<MessageContext>& ctx,
@@ -75,6 +80,7 @@ bool Metrics::shrink_destinations(const std::shared_ptr<MessageContext>& ctx,
     outstanding_.erase(ctx->message_id);
     ++completed_;
     last_completion_ = now;
+    if (message_closed_hook_) message_closed_hook_(ctx);
     return true;
   }
   return false;

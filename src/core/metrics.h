@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -139,6 +140,14 @@ class Metrics {
   /// Time the most recent message completed (0 if none yet).
   [[nodiscard]] Time last_completion_time() const { return last_completion_; }
 
+  /// Fires whenever a message stops being outstanding for any reason —
+  /// completion, delivery failure, abandonment, or completion by
+  /// destination shrink. The Network's send gate drains on it.
+  void set_message_closed_hook(
+      std::function<void(const std::shared_ptr<MessageContext>&)> hook) {
+    message_closed_hook_ = std::move(hook);
+  }
+
  private:
   Time window_start_ = 0;
   std::uint64_t next_id_ = 1;
@@ -173,6 +182,8 @@ class Metrics {
   // Live contexts so repair can triage in-flight messages, not just ages.
   std::unordered_map<std::uint64_t, std::shared_ptr<MessageContext>> outstanding_;
   std::unordered_map<std::uint64_t, std::vector<std::uint64_t>> orders_;
+  std::function<void(const std::shared_ptr<MessageContext>&)>
+      message_closed_hook_;
 };
 
 }  // namespace wormcast

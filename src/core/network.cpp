@@ -16,15 +16,18 @@ Network::Network(Topology topo, std::vector<MulticastGroupSpec> groups,
   topo_.validate();
   fabric_ = std::make_unique<Fabric>(sim_, topo_, config_.fabric);
   routing_ = std::make_unique<UpDownRouting>(topo_, config_.routing);
-  UpDownOptions tree_opts = config_.routing;
-  tree_opts.root = routing_->root();
-  tree_opts.tree_links_only = true;
-  tree_routing_ = std::make_unique<UpDownRouting>(topo_, tree_opts);
+  strategy_ =
+      make_tree_strategy(config_.tree, topo_, *routing_, config_.routing);
+  strategy_->set_load_probe(
+      [this](NodeId n) { return fabric_->node_egress_bytes(n); });
+  for (const MulticastGroupSpec& spec : groups_)
+    strategy_->plan_group(spec.id, spec.members);
   mcast_engine_ = std::make_unique<SwitchMcastEngine>(
-      sim_, topo_, *tree_routing_, config_.switch_mcast);
+      sim_, topo_, strategy_->primary_routing(), config_.switch_mcast);
   fabric_->install_mcast_engine(mcast_engine_.get());
   tables_ = std::make_unique<GroupTables>(groups_, *routing_,
-                                          config_.protocol.max_tree_fanout);
+                                          config_.protocol.max_tree_fanout,
+                                          strategy_.get());
   RandomStream master(config_.seed);
   // The injector always exists (unarmed when no faults are configured) so
   // tests can force faults or schedule outages without rebuilding.
@@ -51,6 +54,11 @@ Network::Network(Topology topo, std::vector<MulticastGroupSpec> groups,
   mcast_engine_->set_flush_handler([this](const WormPtr& worm) {
     protocols_[worm->src]->on_unicast_flushed(worm);
   });
+  gate_node_claims_.assign(static_cast<std::size_t>(topo_.num_nodes()), 0);
+  metrics_.set_message_closed_hook(
+      [this](const std::shared_ptr<MessageContext>& ctx) {
+        on_message_closed(ctx->message_id);
+      });
 }
 
 Network::~Network() = default;
@@ -65,17 +73,7 @@ std::shared_ptr<MessageContext> Network::send_switch_multicast(
   const int dests = members.size() - (members.contains(src) ? 1 : 0);
   auto ctx = metrics_.create_message(src, group, payload, dests, sim_.now());
   if (dests == 0) return ctx;
-  auto worm = std::make_shared<Worm>();
-  worm->id = ctx->message_id;
-  worm->kind = WormKind::kSwitchMcast;
-  worm->src = src;
-  worm->payload = payload;
-  worm->header = 0;  // metadata rides in the shared message context
-  worm->mcast_route = EncodedMcastRoute::encode(
-      build_mcast_branches(topo_, *tree_routing_, src, members.order()));
-  worm->message = ctx;
-  worm->created_at = ctx->created_at;
-  adapters_[src]->send(std::move(worm));
+  gate_admit(GatedSend{src, group, payload, /*broadcast=*/false, ctx});
   return ctx;
 }
 
@@ -83,18 +81,137 @@ std::shared_ptr<MessageContext> Network::send_switch_broadcast(
     HostId src, std::int64_t payload) {
   auto ctx = metrics_.create_message(src, kBroadcastGroup, payload,
                                      topo_.num_hosts() - 1, sim_.now());
-  auto worm = std::make_shared<Worm>();
-  worm->id = ctx->message_id;
-  worm->kind = WormKind::kSwitchMcast;
-  worm->src = src;
-  worm->payload = payload;
-  worm->header = 0;
-  worm->broadcast_flood = true;
-  worm->route = tree_routing_->route_to_root(src);
-  worm->message = ctx;
-  worm->created_at = ctx->created_at;
-  adapters_[src]->send(std::move(worm));
+  gate_admit(GatedSend{src, kNoGroup, payload, /*broadcast=*/true, ctx});
   return ctx;
+}
+
+// --- multicast admission gate -----------------------------------------------
+
+namespace {
+void collect_tree_nodes(const Topology& topo, NodeId at,
+                        const McastRouteTree& tree, std::vector<NodeId>* out) {
+  const NodeId next = topo.neighbor_via(at, tree.port);
+  out->push_back(next);
+  for (const McastRouteTree& child : tree.children)
+    collect_tree_nodes(topo, next, child, out);
+}
+}  // namespace
+
+std::vector<NodeId> Network::gate_footprint(const GatedSend& send) const {
+  std::vector<NodeId> nodes;
+  if (send.broadcast) {
+    // The flood covers the whole spanning tree: claim everything.
+    nodes.resize(static_cast<std::size_t>(topo_.num_nodes()));
+    for (NodeId n = 0; n < topo_.num_nodes(); ++n)
+      nodes[static_cast<std::size_t>(n)] = n;
+    return nodes;
+  }
+  nodes.push_back(send.src);
+  const NodeId src_sw = topo_.switch_of_host(send.src);
+  nodes.push_back(src_sw);
+  const CircuitTable& members = tables_->circuit(send.group);
+  const McastPlan plan =
+      strategy_->plan_multicast(send.group, send.src, members.order());
+  for (const McastPartition& part : plan.partitions)
+    for (const McastRouteTree& branch : part.branches)
+      collect_tree_nodes(topo_, src_sw, branch, &nodes);
+  std::sort(nodes.begin(), nodes.end());
+  nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+  return nodes;
+}
+
+bool Network::gate_admissible(const std::vector<NodeId>& nodes) const {
+  for (const NodeId n : nodes)
+    if (gate_node_claims_[static_cast<std::size_t>(n)] > 0) return false;
+  return true;
+}
+
+void Network::gate_admit(GatedSend send) {
+  // A degenerate message with no live context (e.g. a broadcast on a
+  // one-host fabric) can never signal close: inject it untracked.
+  if (!metrics_.is_outstanding(send.ctx->message_id)) {
+    gate_inject(send);
+    return;
+  }
+  if (gate_queue_.empty()) {
+    std::vector<NodeId> nodes = gate_footprint(send);
+    if (gate_admissible(nodes)) {
+      gate_dispatch(std::move(send), std::move(nodes));
+      return;
+    }
+  }
+  // Strict FIFO: once anything queues, later sends queue behind it even if
+  // they would be admissible — bypassing would starve the blocked head.
+  gate_queue_.push_back(std::move(send));
+}
+
+void Network::gate_dispatch(GatedSend send, std::vector<NodeId> nodes) {
+  for (const NodeId n : nodes) ++gate_node_claims_[static_cast<std::size_t>(n)];
+  gated_nodes_.emplace(send.ctx->message_id, std::move(nodes));
+  gate_inject(send);
+}
+
+void Network::gate_inject(const GatedSend& send) {
+  if (send.broadcast) {
+    auto worm = std::make_shared<Worm>();
+    worm->id = send.ctx->message_id;
+    worm->kind = WormKind::kSwitchMcast;
+    worm->src = send.src;
+    worm->payload = send.payload;
+    worm->header = 0;
+    worm->broadcast_flood = true;
+    worm->route = strategy_->primary_routing().route_to_root(send.src);
+    worm->message = send.ctx;
+    worm->created_at = send.ctx->created_at;
+    adapters_[send.src]->send(std::move(worm));
+    return;
+  }
+  // One worm per plan partition (the single-root strategy always plans
+  // exactly one). Partitions are host-disjoint, so the shared message
+  // context counts each destination exactly once.
+  const CircuitTable& members = tables_->circuit(send.group);
+  const McastPlan plan =
+      strategy_->plan_multicast(send.group, send.src, members.order());
+  for (const McastPartition& part : plan.partitions) {
+    auto worm = std::make_shared<Worm>();
+    worm->id = send.ctx->message_id;
+    worm->kind = WormKind::kSwitchMcast;
+    worm->src = send.src;
+    worm->payload = send.payload;
+    worm->header = 0;  // metadata rides in the shared message context
+    worm->mcast_route = EncodedMcastRoute::encode(part.branches);
+    worm->message = send.ctx;
+    worm->created_at = send.ctx->created_at;
+    adapters_[send.src]->send(std::move(worm));
+  }
+}
+
+void Network::on_message_closed(std::uint64_t message_id) {
+  const auto it = gated_nodes_.find(message_id);
+  if (it == gated_nodes_.end()) return;
+  for (const NodeId n : it->second)
+    --gate_node_claims_[static_cast<std::size_t>(n)];
+  gated_nodes_.erase(it);
+  gate_pump();
+}
+
+void Network::gate_pump() {
+  while (!gate_queue_.empty()) {
+    GatedSend& front = gate_queue_.front();
+    // A queued message can close while waiting (abandoned at repair time):
+    // drop it instead of injecting worms for a dead context.
+    if (!metrics_.is_outstanding(front.ctx->message_id)) {
+      gate_queue_.pop_front();
+      continue;
+    }
+    // Footprint recomputed per attempt: plans may have changed while the
+    // send waited (membership churn, load re-plans, root migration).
+    std::vector<NodeId> nodes = gate_footprint(front);
+    if (!gate_admissible(nodes)) return;  // strict FIFO: head blocks the rest
+    GatedSend send = std::move(front);
+    gate_queue_.pop_front();
+    gate_dispatch(std::move(send), std::move(nodes));
+  }
 }
 
 void Network::crash_host(HostId h, Time when) {
@@ -110,10 +227,18 @@ void Network::fail_link(LinkId l, Time when) {
     faults_->kill_link(&fabric_->channel_from(l, link.node_a));
     faults_->kill_link(&fabric_->channel_from(l, link.node_b));
     // Recompute up/down labels around the dead link; this also clears the
-    // route caches, so every retransmission travels the healed paths.
+    // route caches, so every retransmission travels the healed paths. The
+    // strategy recomputes its owned routings and drops cached plans.
     routing_->fail_link(l);
-    tree_routing_->fail_link(l);
+    strategy_->fail_link(l);
     metrics_.on_link_failed();
+  });
+}
+
+void Network::migrate_root(NodeId new_root, Time when) {
+  sim_.at(when, [this, new_root] {
+    routing_->set_root(new_root);
+    strategy_->on_root_migrated(new_root);
   });
 }
 
@@ -227,6 +352,9 @@ void Network::apply_join(const MembershipOp& op) {
   if (!jr.joined) return;  // already a member: applied idempotently
   if (rejoin) WORMTRACE(sim_, kProtoRejoin, op.host, -1, 0, op.group);
   joined_at_[key] = sim_.now();
+  // Re-plan the group's strategy trees for the new membership (multi-root
+  // re-picks the root, cached multicast plans drop).
+  strategy_->plan_group(op.group, tables_->circuit(op.group).order());
   // The joiner first (it sets its view floor and, on rejoin, resets the
   // group's dedup epoch), then every peer patches in-flight hop budgets.
   protocols_[op.host]->on_self_joined(op.group, rejoin);
@@ -282,6 +410,7 @@ void Network::apply_leave(const MembershipOp& op) {
   repair_stats_.roots_promoted += stats.roots_promoted;
   former_members_.insert(key);
   joined_at_.erase(key);
+  strategy_->plan_group(op.group, tables_->circuit(op.group).order());
   metrics_.on_leave_applied();
   WORMTRACE(sim_, kProtoLeave, op.host, -1, 0, op.group);
   // The leaver finishes what it holds (forward-only, no new deliveries);
@@ -323,7 +452,12 @@ void Network::declare_host_dead(HostId dead) {
   // Heal the shared group structures in place: splice the circuits,
   // re-parent orphaned subtrees, promote a new root where needed. Every
   // protocol sees the repaired tables immediately (shared by reference).
+  // Affected groups are captured *before* the splice — afterwards the
+  // tables no longer know where the dead member was.
+  const std::vector<GroupId> affected = tables_->groups_containing(dead);
   const GroupTables::RepairStats stats = tables_->remove_member(dead);
+  for (const GroupId g : affected)
+    strategy_->plan_group(g, tables_->circuit(g).order());
   repair_stats_.circuits_spliced += stats.circuits_spliced;
   repair_stats_.subtrees_reparented += stats.subtrees_reparented;
   repair_stats_.roots_promoted += stats.roots_promoted;
@@ -508,6 +642,11 @@ void Network::register_counters(CounterRegistry& reg) const {
           i64([this] { return fabric_->total_bytes_swallowed(); }));
   reg.add("fabric_overflows", i64([this] { return fabric_->total_overflows(); }));
   reg.add("faults_injected", i64([this] { return faults_->total_injected(); }));
+  reg.add("tree_worms_planned",
+          i64([this] { return strategy_->worms_planned(); }));
+  reg.add("tree_partitions_merged",
+          i64([this] { return strategy_->partitions_merged(); }));
+  reg.add("tree_replans", i64([this] { return strategy_->replans(); }));
   reg.add("mcast_connections",
           i64([this] { return mcast_engine_->connections_opened(); }));
   reg.add("mcast_fragments",

@@ -21,6 +21,7 @@
 #include "net/fabric.h"
 #include "net/switch_mcast_engine.h"
 #include "net/topology.h"
+#include "net/tree_strategy.h"
 #include "net/updown.h"
 #include "sim/counters.h"
 #include "sim/fault_injector.h"
@@ -66,6 +67,10 @@ struct ExperimentConfig {
   TrafficConfig traffic;
   UpDownOptions routing;
   SwitchMcastConfig switch_mcast;
+  /// How group structures and switch-level multicast trees are built
+  /// (single-root baseline, partition-merge, load-aware, multi-root;
+  /// per-run or per-group).
+  TreeStrategyConfig tree;
   /// Injected faults (all rates 0 = the lossless fabric). Pair nonzero
   /// rates with protocol.ack_timeout so senders can actually recover.
   FaultConfig faults;
@@ -93,7 +98,23 @@ class Network {
 
   /// Sends a *switch-level* multicast (Section 3): the fabric replicates
   /// the worm along a tree encoded in its header; routes are restricted to
-  /// the up/down spanning tree. Returns the message context for metrics.
+  /// the group's strategy-chosen up/down spanning tree. Returns the message
+  /// context for metrics.
+  ///
+  /// Admission gate: the paper's scheme (b) deadlock argument requires
+  /// switch-level multicasts to be *serialized* (every worm climbs through
+  /// the one root, whose arbitration orders them); two concurrent worms
+  /// whose trees overlap can otherwise form a port-claim/backpressure
+  /// cycle that no interrupt can break — a stopped branch cannot even send
+  /// its closing trailer. The gate generalizes that rule to arbitrary tree
+  /// strategies: a multicast dispatches immediately iff its planned tree is
+  /// node-disjoint from every in-flight multicast (disjoint trees share no
+  /// channels, so neither can ever wait on the other, whatever their
+  /// orientations); otherwise it queues FIFO and is released as conflicting
+  /// messages close. Under the single-root strategy every tree contains the
+  /// root, so the gate degenerates to exactly the paper's serialization;
+  /// the alternative strategies regain concurrency precisely where their
+  /// trees do not collide. Queue wait counts toward message latency.
   std::shared_ptr<MessageContext> send_switch_multicast(HostId src, GroupId group,
                                                         std::int64_t payload);
 
@@ -105,6 +126,12 @@ class Network {
 
   [[nodiscard]] SwitchMcastEngine& switch_mcast_engine() { return *mcast_engine_; }
 
+  /// Switch-level multicasts queued behind the admission gate (their tree
+  /// overlaps an in-flight one). Tests observe serialization through this.
+  [[nodiscard]] std::size_t mcast_gate_depth() const {
+    return gate_queue_.size();
+  }
+
   /// Advances the simulation (tests and examples drive this directly).
   void run_until(Time deadline) { sim_.run_until(deadline); }
   void run_to_quiescence() { sim_.run(); }
@@ -113,6 +140,8 @@ class Network {
   [[nodiscard]] const Topology& topology() const { return topo_; }
   [[nodiscard]] Fabric& fabric() { return *fabric_; }
   [[nodiscard]] const UpDownRouting& routing() const { return *routing_; }
+  /// The active tree strategy (group-structure construction policy).
+  [[nodiscard]] const TreeStrategy& tree_strategy() const { return *strategy_; }
   [[nodiscard]] const GroupTables& tables() const { return *tables_; }
   [[nodiscard]] Metrics& metrics() { return metrics_; }
   [[nodiscard]] int num_hosts() const { return topo_.num_hosts(); }
@@ -146,6 +175,18 @@ class Network {
   /// schedule is a pure function of (seed, link id): bit-identical at any
   /// --jobs. Returns the number of down-windows scheduled.
   int flap_link(LinkId l, Time from, Time until, Time mean_down, Time mean_up);
+
+  /// Schedules an up/down root migration to `new_root` at `when`: the
+  /// general routing re-anchors (rebuilding its spanning tree and caches)
+  /// and the tree strategy follows (re-rooting owned routings, dropping
+  /// cached multicast plans, re-assigning multi-root groups). Worms already
+  /// in flight carry their old routes and finish under the old labels.
+  void migrate_root(NodeId new_root, Time when);
+
+  /// Re-plans strategy trees against the current load snapshot (the
+  /// load-aware strategy's refresh hook; a no-op for static strategies).
+  /// Returns true when any future plan changed.
+  bool replan_trees() { return strategy_->replan(); }
 
   // --- membership churn -------------------------------------------------
 
@@ -276,6 +317,36 @@ class Network {
   [[nodiscard]] Summary summary() const;
 
  private:
+  /// One switch-level multicast admitted to the orientation gate but not
+  /// yet dispatched (its plan is computed at dispatch time, so membership
+  /// changes while queued are honored).
+  struct GatedSend {
+    HostId src = kNoHost;
+    GroupId group = kNoGroup;
+    std::int64_t payload = 0;
+    bool broadcast = false;
+    std::shared_ptr<MessageContext> ctx;
+  };
+
+  /// Every node (switches and host endpoints) the send's worms would touch
+  /// if planned right now — the resource set the gate claims.
+  [[nodiscard]] std::vector<NodeId> gate_footprint(const GatedSend& send) const;
+  /// True iff none of `nodes` is claimed by an in-flight multicast.
+  [[nodiscard]] bool gate_admissible(const std::vector<NodeId>& nodes) const;
+  /// Admits a switch-level multicast: dispatch if its tree is disjoint from
+  /// everything in flight (and nothing is queued ahead — strict FIFO),
+  /// else queue.
+  void gate_admit(GatedSend send);
+  /// Claims the footprint and injects the send's worms into the fabric.
+  void gate_dispatch(GatedSend send, std::vector<NodeId> nodes);
+  /// Builds and sends the worm(s) for this multicast (plans at this
+  /// moment, so membership changes while queued are honored).
+  void gate_inject(const GatedSend& send);
+  /// Metrics message-closed hook: releases the message's claimed nodes and
+  /// pumps newly admissible queued sends.
+  void on_message_closed(std::uint64_t message_id);
+  void gate_pump();
+
   /// One queued membership operation. `requested_at` is the *first*
   /// request time, so join latency includes time lost to sheds.
   struct MembershipOp {
@@ -298,7 +369,7 @@ class Network {
   std::unique_ptr<Fabric> fabric_;
   std::unique_ptr<FaultInjector> faults_;
   std::unique_ptr<UpDownRouting> routing_;
-  std::unique_ptr<UpDownRouting> tree_routing_;  // spanning-tree-only paths
+  std::unique_ptr<TreeStrategy> strategy_;  // owns the tree-restricted routings
   std::unique_ptr<SwitchMcastEngine> mcast_engine_;
   std::unique_ptr<GroupTables> tables_;
   std::vector<std::unique_ptr<HostAdapter>> adapters_;
@@ -306,6 +377,10 @@ class Network {
   std::unique_ptr<TrafficGenerator> traffic_;
   std::unique_ptr<DeadlockWatchdog> watchdog_;
   std::unordered_set<HostId> removed_hosts_;
+  // Multicast admission-gate state (see send_switch_multicast).
+  std::deque<GatedSend> gate_queue_;            // FIFO, conflicting sends
+  std::vector<std::int32_t> gate_node_claims_;  // by NodeId: in-flight users
+  std::unordered_map<std::uint64_t, std::vector<NodeId>> gated_nodes_;
   // Membership coordinator state.
   std::deque<MembershipOp> membership_q_;
   bool membership_pump_armed_ = false;

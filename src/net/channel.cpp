@@ -221,7 +221,7 @@ void Channel::deliver_front() {
   sim_.note_progress(b.count);
   assert(sink_ != nullptr && "channel delivered into the void");
   if (b.head)
-    sink_->on_head(b.worm, b.wire_len);
+    sink_->on_head(b.worm, b.wire_len, b.tail);
   else if (b.count > 1)
     sink_->on_body_burst(b.count, /*tail=*/false);
   else

@@ -85,8 +85,12 @@ class RxSink {
  public:
   virtual ~RxSink() = default;
   /// First byte of a worm. `wire_len` is the total bytes this channel will
-  /// deliver for it (including this one and the trailer).
-  virtual void on_head(const WormPtr& worm, std::int64_t wire_len) = 0;
+  /// deliver for it (including this one and the trailer). `tail` marks a
+  /// single-byte worm — head and trailer in one byte, as a zero-body
+  /// interrupt-scheme multicast fragment produces — whose reception is
+  /// complete with this call (no on_body follows).
+  virtual void on_head(const WormPtr& worm, std::int64_t wire_len,
+                       bool tail) = 0;
   /// Every subsequent byte; `tail` marks the last one.
   virtual void on_body(bool tail) = 0;
 

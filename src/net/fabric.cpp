@@ -92,6 +92,18 @@ std::int64_t Fabric::host_egress_bytes() const {
   return total;
 }
 
+std::int64_t Fabric::node_egress_bytes(NodeId n) const {
+  std::int64_t total = 0;
+  const TopoNode& node = topo_.node(n);
+  for (const TopoPort& p : node.ports) {
+    const TopoLink& lk = topo_.link(p.link);
+    const std::size_t idx =
+        static_cast<std::size_t>(p.link) * 2 + (lk.node_a == n ? 0 : 1);
+    total += channels_[idx]->bytes_sent();
+  }
+  return total;
+}
+
 std::int64_t Fabric::fabric_bytes_sent() const {
   std::int64_t total = 0;
   for (const auto& ch : channels_) total += ch->bytes_sent();

@@ -61,6 +61,11 @@ class Fabric {
   /// utilization, which includes forwarded multicast copies).
   [[nodiscard]] std::int64_t host_egress_bytes() const;
 
+  /// Bytes transmitted out of node `n` across all its ports: the
+  /// forwarding-load signal for root-utilization metrics and the
+  /// load-aware tree strategy's probe.
+  [[nodiscard]] std::int64_t node_egress_bytes(NodeId n) const;
+
   /// Total bytes swallowed by injected faults across all channels (link
   /// outages, control drops, the cut portion of truncated worms). Kept
   /// separate from bytes_sent so utilization never counts lost bytes.

@@ -2,6 +2,7 @@
 
 #include <map>
 #include <memory>
+#include <sstream>
 #include <stdexcept>
 
 namespace wormcast {
@@ -11,17 +12,44 @@ namespace {
 struct TrieNode {
   // Ordered by port so the encoding (and thus traffic) is deterministic.
   std::map<PortId, std::unique_ptr<TrieNode>> children;
+  // The destination whose path terminates exactly here (kNoHost if none).
+  HostId terminal = kNoHost;
 };
 
-void insert_path(TrieNode& root, const std::vector<PortId>& ports) {
+/// Any destination terminating in `node`'s subtree (for diagnostics).
+HostId any_terminal(const TrieNode& node) {
+  if (node.terminal != kNoHost) return node.terminal;
+  for (const auto& [port, child] : node.children) {
+    const HostId h = any_terminal(*child);
+    if (h != kNoHost) return h;
+  }
+  return kNoHost;
+}
+
+[[noreturn]] void throw_prefix_conflict(HostId shorter, HostId longer) {
+  std::ostringstream why;
+  why << "multicast route for host " << shorter
+      << " is a prefix of the route for host " << longer
+      << " (interior-node delivery unsupported; hosts must be topology "
+         "leaves)";
+  throw std::invalid_argument(why.str());
+}
+
+void insert_path(TrieNode& root, const HostPath& path) {
   TrieNode* at = &root;
-  for (const PortId p : ports) {
+  for (const PortId p : path.ports) {
+    if (at->terminal != kNoHost && at->terminal != path.host)
+      throw_prefix_conflict(at->terminal, path.host);
     auto& slot = at->children[p];
     if (!slot) slot = std::make_unique<TrieNode>();
     at = slot.get();
   }
-  if (!at->children.empty())
-    throw std::logic_error("multicast path ends at an interior tree node");
+  if (!at->children.empty()) {
+    const HostId below = any_terminal(*at);
+    if (below != path.host)
+      throw_prefix_conflict(path.host, below != kNoHost ? below : path.host);
+  }
+  at->terminal = path.host;
 }
 
 std::vector<McastRouteTree> to_branches(const TrieNode& node) {
@@ -37,19 +65,25 @@ std::vector<McastRouteTree> to_branches(const TrieNode& node) {
 
 }  // namespace
 
-std::vector<McastRouteTree> build_mcast_branches(
-    const Topology& topo, const UpDownRouting& routing, HostId src,
-    const std::vector<HostId>& dests) {
-  (void)topo;
+std::vector<McastRouteTree> merge_host_paths(
+    const std::vector<HostPath>& paths) {
   TrieNode root;
-  bool any = false;
+  for (const HostPath& p : paths) insert_path(root, p);
+  if (root.children.empty())
+    throw std::invalid_argument("multicast with no destinations");
+  return to_branches(root);
+}
+
+std::vector<McastRouteTree> build_mcast_branches(
+    const UpDownRouting& routing, HostId src,
+    const std::vector<HostId>& dests) {
+  std::vector<HostPath> paths;
+  paths.reserve(dests.size());
   for (const HostId d : dests) {
     if (d == src) continue;
-    any = true;
-    insert_path(root, routing.route(src, d).ports());
+    paths.push_back(HostPath{d, routing.route(src, d).ports()});
   }
-  if (!any) throw std::invalid_argument("multicast with no destinations");
-  return to_branches(root);
+  return merge_host_paths(paths);
 }
 
 }  // namespace wormcast

@@ -1,26 +1,41 @@
 // Builds the multicast delivery tree carried in a switch-level multicast
 // worm's header (Section 3 / Figure 2).
 //
-// Paths are taken from an up/down routing restricted to the spanning tree
-// (scheme (a) requires *all* worms to stay on the tree so the IDLE-filled
-// branches cannot close a flow-control cycle); one-source paths on a tree
-// always merge into a tree of output ports.
+// Per-destination port paths from one source merge into a tree of output
+// ports: shared prefixes become shared trunk, divergence becomes a branch.
+// Hosts are topology leaves, so no destination's path can be a prefix of
+// another's (every path ends on a distinct host port); a prefix conflict
+// therefore means corrupted routes and is rejected with a diagnostic
+// naming the offending host pair rather than silently mis-delivering.
 #pragma once
 
 #include <vector>
 
 #include "net/source_route.h"
-#include "net/topology.h"
 #include "net/updown.h"
 #include "sim/types.h"
 
 namespace wormcast {
 
+/// One destination host and its source-route port list (switch output
+/// ports ending with the destination's host port).
+struct HostPath {
+  HostId host = kNoHost;
+  std::vector<PortId> ports;
+};
+
+/// Merges per-destination port paths into the branch forest leaving the
+/// shared source switch. Deterministic: children are ordered by port.
+/// Throws std::invalid_argument, naming the offending host pair, when one
+/// path is a prefix of another (interior-node delivery is unsupported:
+/// a worm cannot both exit a switch and terminate there).
+std::vector<McastRouteTree> merge_host_paths(const std::vector<HostPath>& paths);
+
 /// Branch forest leaving the source host's switch that reaches every host
-/// in `dests` (the source itself is skipped if present). Throws if the
-/// routing's paths do not merge into a tree (use tree_links_only routing).
-std::vector<McastRouteTree> build_mcast_branches(const Topology& topo,
-                                                 const UpDownRouting& routing,
+/// in `dests` via `routing`'s unicast paths (the source itself is skipped
+/// if present). Throws std::invalid_argument when no destination remains
+/// or the paths do not merge into a tree.
+std::vector<McastRouteTree> build_mcast_branches(const UpDownRouting& routing,
                                                  HostId src,
                                                  const std::vector<HostId>& dests);
 

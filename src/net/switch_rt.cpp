@@ -12,8 +12,13 @@ namespace wormcast {
 
 InPort::InPort(SwitchRt& sw, PortId port) : sw_(sw), port_(port) {}
 
-void InPort::on_head(const WormPtr& worm, std::int64_t wire_len) {
+void InPort::on_head(const WormPtr& worm, std::int64_t wire_len, bool tail) {
   assert(wire_len >= 2 && "worm must carry at least payload + trailer");
+  // Single-byte worms are trailer-only multicast fragments; they occur only
+  // on host-bound ports (switch-bound fragments always lead with at least
+  // one route byte the next switch consumes).
+  assert(!tail && "single-byte worm at a switch input");
+  (void)tail;
   rx_queue_.push_back(RxWorm{worm, wire_len, 1, false});
   rx_queue_.back().run_end = sw_.sim().now();
   ++buffered_;

@@ -40,7 +40,7 @@ class InPort final : public RxSink, public ByteFeed {
   InPort(SwitchRt& sw, PortId port);
 
   // RxSink — bytes arriving from the upstream channel.
-  void on_head(const WormPtr& worm, std::int64_t wire_len) override;
+  void on_head(const WormPtr& worm, std::int64_t wire_len, bool tail) override;
   void on_body(bool tail) override;
   [[nodiscard]] std::int64_t rx_burst_budget() const override;
   void on_body_burst(std::int64_t n, bool tail) override;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <set>
 #include <stdexcept>
 #include <utility>
@@ -112,27 +113,51 @@ Topology make_random_mesh(int n_switches, double degree, RandomStream& rng,
   std::vector<NodeId> sw;
   for (int i = 0; i < n_switches; ++i) sw.push_back(t.add_switch());
   std::set<std::pair<NodeId, NodeId>> made;
+  // Keyed (stateless) draws throughout: the mesh is a pure function of the
+  // stream's seed, bit-identical regardless of how many draws the caller
+  // consumed before (or consumes between) calls — required for --jobs
+  // replay where worker threads interleave stream use.
   // Random spanning tree: attach each switch to a random earlier one.
   for (int i = 1; i < n_switches; ++i) {
-    const auto j = static_cast<int>(rng.uniform(0, i - 1));
+    const auto j = static_cast<int>(
+        rng.keyed_uniform(0, i - 1, 0x4D35A1ull, static_cast<std::uint64_t>(i)));
     t.connect(sw[static_cast<std::size_t>(j)], sw[static_cast<std::size_t>(i)],
               link_delay);
     made.insert({sw[static_cast<std::size_t>(std::min(i, j))],
                  sw[static_cast<std::size_t>(std::max(i, j))]});
   }
-  // Extra cross links up to the requested average degree.
+  // Extra cross links up to the requested average degree, capped at the
+  // simple-graph maximum so a high requested degree can't loop forever
+  // asking for duplicate or self links that don't exist.
+  const auto n64 = static_cast<std::int64_t>(n_switches);
+  const std::int64_t max_extra = n64 * (n64 - 1) / 2 - (n64 - 1);
   const auto target_links =
       static_cast<std::int64_t>(degree * n_switches / 2.0);
-  std::int64_t extra = target_links - (n_switches - 1);
-  int attempts = n_switches * n_switches;
-  while (extra > 0 && attempts-- > 0) {
-    const auto a = static_cast<std::size_t>(rng.uniform(0, n_switches - 1));
-    const auto b = static_cast<std::size_t>(rng.uniform(0, n_switches - 1));
+  std::int64_t extra = std::min(target_links - (n_switches - 1), max_extra);
+  std::int64_t attempts = n64 * n64;
+  for (std::uint64_t tick = 0; extra > 0 && attempts > 0; ++tick, --attempts) {
+    const auto a = static_cast<std::size_t>(
+        rng.keyed_uniform(0, n_switches - 1, 0x4D35A2ull, tick, 0));
+    const auto b = static_cast<std::size_t>(
+        rng.keyed_uniform(0, n_switches - 1, 0x4D35A2ull, tick, 1));
     if (a == b) continue;
     const auto key = std::minmax(sw[a], sw[b]);
     if (!made.insert({key.first, key.second}).second) continue;
     t.connect(sw[a], sw[b], link_delay);
     --extra;
+  }
+  // Near the complete graph, rejection sampling mostly redraws existing
+  // pairs; finish deterministically so the requested degree is honoured.
+  for (int i = 0; i < n_switches && extra > 0; ++i) {
+    for (int j = i + 1; j < n_switches && extra > 0; ++j) {
+      if (!made.insert({sw[static_cast<std::size_t>(i)],
+                        sw[static_cast<std::size_t>(j)]})
+               .second)
+        continue;
+      t.connect(sw[static_cast<std::size_t>(i)],
+                sw[static_cast<std::size_t>(j)], link_delay);
+      --extra;
+    }
   }
   for (int i = 0; i < n_switches; ++i)
     t.connect(t.add_host(), sw[static_cast<std::size_t>(i)], link_delay);

@@ -1,0 +1,229 @@
+// Concrete TreeStrategy implementations (internal header: the factory in
+// tree_strategy.cpp is the public entry point; tests may include this to
+// poke strategy internals).
+#pragma once
+
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "net/tree_strategy.h"
+
+namespace wormcast::detail {
+
+/// Key for per-(group, source) plan caches.
+[[nodiscard]] inline std::uint64_t plan_key(GroupId g, HostId src) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(g)) << 32) |
+         static_cast<std::uint32_t>(src);
+}
+
+/// Options for a strategy-owned routing: the experiment's routing options
+/// pinned to the general routing's root and (by default) restricted to the
+/// spanning tree, exactly like the pre-strategy tree_routing_.
+[[nodiscard]] inline UpDownOptions owned_tree_opts(const UpDownRouting& base,
+                                                   const UpDownOptions& base_opts,
+                                                   bool tree_links_only = true) {
+  UpDownOptions opts = base_opts;
+  opts.root = base.root();
+  opts.tree_links_only = tree_links_only;
+  return opts;
+}
+
+/// The paper's scheme: one tree-restricted routing, one worm per
+/// multicast. Byte-identical to the pre-strategy hard-wired path.
+class SingleRootStrategy : public TreeStrategy {
+ public:
+  SingleRootStrategy(const Topology& topo, const UpDownRouting& base,
+                     const UpDownOptions& base_opts);
+
+  [[nodiscard]] TreeStrategyKind kind() const override {
+    return TreeStrategyKind::kSingleRoot;
+  }
+  [[nodiscard]] const UpDownRouting& primary_routing() const override {
+    return *tree_;
+  }
+  [[nodiscard]] const UpDownRouting& group_routing(GroupId) const override {
+    return *tree_;
+  }
+  void plan_group(GroupId, const std::vector<HostId>&) override {}
+  [[nodiscard]] McastPlan plan_multicast(
+      GroupId g, HostId src, const std::vector<HostId>& dests) const override;
+  void fail_link(LinkId l) override { tree_->fail_link(l); }
+  void on_root_migrated(NodeId new_root) override { tree_->set_root(new_root); }
+
+ private:
+  std::unique_ptr<UpDownRouting> tree_;  // spanning-tree-only paths
+};
+
+/// Route-disjoint partitions merged by longest shared route prefix, one
+/// worm per partition, bounded by the configured worm budget.
+class PartitionMergeStrategy : public TreeStrategy {
+ public:
+  PartitionMergeStrategy(const TreeStrategyConfig& cfg, const Topology& topo,
+                         const UpDownRouting& base,
+                         const UpDownOptions& base_opts);
+
+  [[nodiscard]] TreeStrategyKind kind() const override {
+    return TreeStrategyKind::kPartitionMerge;
+  }
+  [[nodiscard]] const UpDownRouting& primary_routing() const override {
+    return *tree_;
+  }
+  [[nodiscard]] const UpDownRouting& group_routing(GroupId) const override {
+    return *tree_;
+  }
+  void plan_group(GroupId, const std::vector<HostId>&) override {}
+  [[nodiscard]] McastPlan plan_multicast(
+      GroupId g, HostId src, const std::vector<HostId>& dests) const override;
+  void fail_link(LinkId l) override { tree_->fail_link(l); }
+  void on_root_migrated(NodeId new_root) override { tree_->set_root(new_root); }
+
+ private:
+  int max_worms_ = 4;
+  std::unique_ptr<UpDownRouting> tree_;
+};
+
+/// Per-send delivery trees over the full up/down graph with per-switch
+/// penalties (observed load + static capacity), steering branch points away
+/// from hot or multicast-poor switches.
+class LoadAwareStrategy : public TreeStrategy {
+ public:
+  LoadAwareStrategy(const TreeStrategyConfig& cfg, const Topology& topo,
+                    const UpDownRouting& base, const UpDownOptions& base_opts);
+
+  [[nodiscard]] TreeStrategyKind kind() const override {
+    return TreeStrategyKind::kLoadAware;
+  }
+  [[nodiscard]] const UpDownRouting& primary_routing() const override {
+    return *tree_;
+  }
+  /// Worm paths are planned on the full up/down graph, so their legality
+  /// reference is the *general* routing, not the tree-restricted one.
+  [[nodiscard]] const UpDownRouting& group_routing(GroupId) const override {
+    return base_routing_;
+  }
+  void plan_group(GroupId g, const std::vector<HostId>& members) override;
+  [[nodiscard]] McastPlan plan_multicast(
+      GroupId g, HostId src, const std::vector<HostId>& dests) const override;
+  [[nodiscard]] int attach_cost(GroupId g, HostId parent,
+                                HostId child) const override;
+  void fail_link(LinkId l) override;
+  void on_root_migrated(NodeId new_root) override;
+  void set_load_probe(LoadProbe probe) override { probe_ = std::move(probe); }
+  bool replan() override;
+
+  /// Current detour penalty (hops) charged for routing through `sw`.
+  [[nodiscard]] std::int64_t penalty(NodeId sw) const {
+    return penalty_[static_cast<std::size_t>(sw)];
+  }
+
+ private:
+  /// Penalized shortest legal up/down port paths from `src` to each dest.
+  [[nodiscard]] std::vector<std::pair<HostId, std::vector<PortId>>>
+  penalized_paths(HostId src, GroupId g,
+                  const std::vector<HostId>& dests) const;
+  void recompute_static_penalties();
+
+  int load_penalty_hops_ = 4;
+  int capacity_penalty_hops_ = 1;
+  std::unique_ptr<UpDownRouting> tree_;  // broadcast flood + root anchor
+  LoadProbe probe_;
+  std::vector<std::int64_t> penalty_;  // by switch NodeId (hosts stay 0)
+  mutable std::unordered_map<std::uint64_t, McastPlan> plan_cache_;
+};
+
+/// k spanning trees; each group rides the root minimizing its members'
+/// depth sum.
+class MultiRootStrategy : public TreeStrategy {
+ public:
+  MultiRootStrategy(const TreeStrategyConfig& cfg, const Topology& topo,
+                    const UpDownRouting& base, const UpDownOptions& base_opts);
+
+  [[nodiscard]] TreeStrategyKind kind() const override {
+    return TreeStrategyKind::kMultiRoot;
+  }
+  [[nodiscard]] const UpDownRouting& primary_routing() const override {
+    return *routings_.front();
+  }
+  [[nodiscard]] const UpDownRouting& group_routing(GroupId g) const override;
+  void plan_group(GroupId g, const std::vector<HostId>& members) override;
+  [[nodiscard]] McastPlan plan_multicast(
+      GroupId g, HostId src, const std::vector<HostId>& dests) const override;
+  void fail_link(LinkId l) override;
+  void on_root_migrated(NodeId new_root) override;
+
+  /// Worms ride the assigned candidate root's orientation. Candidate 0 is
+  /// the base root, so it shares orientation 0 with every single-root
+  /// strategy.
+  [[nodiscard]] int plan_orientation(GroupId g) const override {
+    return static_cast<int>(assignment(g));
+  }
+
+  [[nodiscard]] const std::vector<NodeId>& candidate_roots() const {
+    return roots_;
+  }
+  /// The candidate index group `g` is assigned to (0 when unknown).
+  [[nodiscard]] std::size_t assignment(GroupId g) const;
+
+ private:
+  /// Depth-sum-minimizing candidate for `members` (index into routings_).
+  [[nodiscard]] std::size_t best_root(const std::vector<HostId>& members) const;
+
+  std::vector<NodeId> roots_;
+  std::vector<std::unique_ptr<UpDownRouting>> routings_;
+  std::unordered_map<GroupId, std::size_t> assignment_;
+  std::unordered_map<GroupId, std::vector<HostId>> members_;
+};
+
+/// Per-group dispatcher: one instance per referenced kind, groups routed
+/// by the TreeStrategyConfig::per_group override table.
+class PerGroupStrategy : public TreeStrategy {
+ public:
+  PerGroupStrategy(const TreeStrategyConfig& cfg, const Topology& topo,
+                   const UpDownRouting& base, const UpDownOptions& base_opts);
+
+  [[nodiscard]] TreeStrategyKind kind() const override { return default_kind_; }
+  [[nodiscard]] const UpDownRouting& primary_routing() const override {
+    return strategy_for_kind(default_kind_).primary_routing();
+  }
+  [[nodiscard]] const UpDownRouting& group_routing(GroupId g) const override {
+    return strategy_for(g).group_routing(g);
+  }
+  void plan_group(GroupId g, const std::vector<HostId>& members) override {
+    strategy_for(g).plan_group(g, members);
+  }
+  [[nodiscard]] McastPlan plan_multicast(
+      GroupId g, HostId src, const std::vector<HostId>& dests) const override {
+    return strategy_for(g).plan_multicast(g, src, dests);
+  }
+  [[nodiscard]] int attach_cost(GroupId g, HostId parent,
+                                HostId child) const override {
+    return strategy_for(g).attach_cost(g, parent, child);
+  }
+  // All kinds but multi-root plan under the base root (orientation 0), and
+  // multi-root's candidate 0 is the base root too, so forwarding yields a
+  // consistent orientation space across the dispatched instances.
+  [[nodiscard]] int plan_orientation(GroupId g) const override {
+    return strategy_for(g).plan_orientation(g);
+  }
+  void fail_link(LinkId l) override;
+  void on_root_migrated(NodeId new_root) override;
+  void set_load_probe(LoadProbe probe) override;
+  bool replan() override;
+  [[nodiscard]] std::int64_t worms_planned() const override;
+  [[nodiscard]] std::int64_t partitions_merged() const override;
+  [[nodiscard]] std::int64_t replans() const override;
+
+ private:
+  [[nodiscard]] TreeStrategy& strategy_for_kind(TreeStrategyKind k) const {
+    return *instances_.at(static_cast<std::size_t>(k));
+  }
+  [[nodiscard]] TreeStrategy& strategy_for(GroupId g) const;
+
+  TreeStrategyKind default_kind_;
+  std::unordered_map<GroupId, TreeStrategyKind> overrides_;
+  // Indexed by TreeStrategyKind; null for kinds no group uses.
+  std::vector<std::unique_ptr<TreeStrategy>> instances_;
+};
+
+}  // namespace wormcast::detail

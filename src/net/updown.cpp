@@ -72,6 +72,11 @@ void UpDownRouting::rebuild(bool allow_partial) {
     else
       up_end_[l] = std::min(lk.node_a, lk.node_b);
   }
+
+  // Every rebuild (failure, root migration) invalidates memoized paths:
+  // stale entries would silently route under the old labels.
+  route_cache_.clear();
+  hop_cache_.clear();
 }
 
 void UpDownRouting::fail_link(LinkId l) {
@@ -79,8 +84,15 @@ void UpDownRouting::fail_link(LinkId l) {
   link_dead_[l] = true;
   ++links_failed_;
   rebuild(/*allow_partial=*/true);
-  route_cache_.clear();
-  hop_cache_.clear();
+}
+
+void UpDownRouting::set_root(NodeId new_root) {
+  if (new_root < 0 || new_root >= topo_.num_nodes() ||
+      topo_.node(new_root).kind != NodeKind::kSwitch)
+    throw std::logic_error("up/down root must be a switch");
+  if (new_root == preferred_root_ && new_root == root_) return;
+  preferred_root_ = new_root;
+  rebuild(/*allow_partial=*/links_failed_ > 0);
 }
 
 UpDownRouting::PathResult UpDownRouting::shortest_legal_path(NodeId from_sw,

@@ -58,6 +58,12 @@ class UpDownRouting {
   [[nodiscard]] bool link_alive(LinkId l) const { return !link_dead_[l]; }
   [[nodiscard]] std::int64_t links_failed() const { return links_failed_; }
 
+  /// Migrates the root to `new_root` (must be a switch; throws otherwise)
+  /// and recomputes the spanning tree, labels and route/hop caches in
+  /// place. Routes handed out before the call reflect the old labels;
+  /// callers holding plans must re-plan (Network::migrate_root does).
+  void set_root(NodeId new_root);
+
   /// Source route (switch output ports) from one host to another. The path
   /// is the shortest legal up/down path, with deterministic tie-breaking,
   /// so exactly one path per pair is ever used (as in the paper's

@@ -47,7 +47,7 @@ class OneWormFeed final : public ByteFeed {
 class RecordSink final : public RxSink {
  public:
   explicit RecordSink(Simulator& sim) : sim_(sim) {}
-  void on_head(const WormPtr& worm, std::int64_t wire_len) override {
+  void on_head(const WormPtr& worm, std::int64_t wire_len, bool) override {
     head_worm = worm;
     head_len = wire_len;
     times.push_back(sim_.now());
@@ -220,7 +220,7 @@ class BurstWormFeed final : public ByteFeed {
 class BurstRecordSink final : public RxSink {
  public:
   explicit BurstRecordSink(Simulator& sim) : sim_(sim) {}
-  void on_head(const WormPtr&, std::int64_t) override { bytes += 1; }
+  void on_head(const WormPtr&, std::int64_t, bool) override { bytes += 1; }
   void on_body(bool tail) override {
     bytes += 1;
     if (tail) tail_at = sim_.now();

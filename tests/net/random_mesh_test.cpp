@@ -1,0 +1,89 @@
+// make_random_mesh: simple-graph guarantees (no self or duplicate links),
+// the requested-degree cap near the complete graph, and keyed-draw
+// determinism — the mesh is a pure function of the stream's seed no matter
+// how many draws the caller consumed before the call (required for --jobs
+// replay, where worker threads interleave stream use).
+#include <gtest/gtest.h>
+
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "net/topologies.h"
+#include "net/updown.h"
+#include "sim/random.h"
+
+namespace wormcast {
+namespace {
+
+/// All switch-to-switch links as normalized endpoint pairs.
+std::vector<std::pair<NodeId, NodeId>> switch_links(const Topology& t) {
+  std::vector<std::pair<NodeId, NodeId>> out;
+  for (LinkId l = 0; l < t.num_links(); ++l) {
+    const TopoLink& tl = t.link(l);
+    if (t.node(tl.node_a).kind != NodeKind::kSwitch ||
+        t.node(tl.node_b).kind != NodeKind::kSwitch)
+      continue;
+    out.emplace_back(std::min(tl.node_a, tl.node_b),
+                     std::max(tl.node_a, tl.node_b));
+  }
+  return out;
+}
+
+TEST(RandomMesh, SimpleGraphNoSelfOrDuplicateLinks) {
+  RandomStream rng(11);
+  const Topology t = make_random_mesh(16, 3.5, rng);
+  const auto links = switch_links(t);
+  std::set<std::pair<NodeId, NodeId>> seen;
+  for (const auto& [a, b] : links) {
+    EXPECT_NE(a, b) << "self link";
+    EXPECT_TRUE(seen.insert({a, b}).second) << "duplicate link " << a << "-" << b;
+  }
+  EXPECT_EQ(t.num_hosts(), 16);
+}
+
+TEST(RandomMesh, HonoursRequestedAverageDegree) {
+  RandomStream rng(12);
+  const Topology t = make_random_mesh(16, 3.0, rng);
+  // target = degree * n / 2 switch-switch links.
+  EXPECT_EQ(switch_links(t).size(), 24u);
+}
+
+TEST(RandomMesh, AbsurdDegreeCapsAtCompleteGraph) {
+  RandomStream rng(13);
+  const Topology t = make_random_mesh(8, 100.0, rng);
+  // Must terminate (no endless rejection sampling) and stop at K8.
+  EXPECT_EQ(switch_links(t).size(), 28u);
+}
+
+TEST(RandomMesh, ConnectedAndRoutable) {
+  RandomStream rng(14);
+  const Topology t = make_random_mesh(12, 2.5, rng);
+  const UpDownRouting r(t);
+  for (NodeId n = 0; n < t.num_nodes(); ++n)
+    EXPECT_GE(r.level(n), 0) << "node " << n << " unreachable";
+  for (HostId h = 1; h < t.num_hosts(); ++h)
+    EXPECT_GE(r.route(0, h).size(), 1u);
+}
+
+TEST(RandomMesh, KeyedDrawsIgnorePriorStreamConsumption) {
+  RandomStream fresh(77);
+  const Topology a = make_random_mesh(16, 3.0, fresh);
+
+  RandomStream consumed(77);
+  for (int i = 0; i < 1000; ++i) (void)consumed.uniform(0, 1 << 20);
+  const Topology b = make_random_mesh(16, 3.0, consumed);
+
+  ASSERT_EQ(a.num_links(), b.num_links());
+  EXPECT_EQ(switch_links(a), switch_links(b));
+}
+
+TEST(RandomMesh, DifferentSeedsDifferentMeshes) {
+  RandomStream r1(1), r2(2);
+  const Topology a = make_random_mesh(16, 3.0, r1);
+  const Topology b = make_random_mesh(16, 3.0, r2);
+  EXPECT_NE(switch_links(a), switch_links(b));
+}
+
+}  // namespace
+}  // namespace wormcast

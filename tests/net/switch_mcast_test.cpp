@@ -24,7 +24,7 @@ TEST(McastRouteBuilder, PathsMergeIntoATree) {
   opts.tree_links_only = true;
   const UpDownRouting routing(topo, opts);
   const auto branches =
-      build_mcast_branches(topo, routing, 0, {0, 3, 7, 11, 14});
+      build_mcast_branches(routing, 0, {0, 3, 7, 11, 14});
   // Encodes and splits without error; total leaf count = 4 destinations.
   const auto enc = EncodedMcastRoute::encode(branches);
   std::function<int(const std::vector<McastRouteTree>&)> leaves =
@@ -40,7 +40,7 @@ TEST(McastRouteBuilder, PathsMergeIntoATree) {
 TEST(McastRouteBuilder, NoDestinationsThrows) {
   const Topology topo = make_star(3);
   const UpDownRouting routing(topo);
-  EXPECT_THROW(build_mcast_branches(topo, routing, 1, {1}),
+  EXPECT_THROW(build_mcast_branches(routing, 1, {1}),
                std::invalid_argument);
 }
 

@@ -195,5 +195,47 @@ TEST(UpDown, RouteToSelfThrows) {
   EXPECT_THROW(r.route(1, 1), std::logic_error);
 }
 
+TEST(UpDown, SetRootRecomputesInPlaceToFreshEquivalent) {
+  const Topology t = make_torus(4, 4);
+  UpDownRouting migrated(t);
+  const NodeId new_root = t.switch_of_host(10);
+  ASSERT_NE(migrated.root(), new_root);
+  migrated.set_root(new_root);
+  EXPECT_EQ(migrated.root(), new_root);
+
+  // In-place migration matches a routing built at the new root directly.
+  UpDownRouting::Options opts;
+  opts.root = new_root;
+  const UpDownRouting fresh(t, opts);
+  for (HostId s = 0; s < t.num_hosts(); ++s)
+    for (HostId d = 0; d < t.num_hosts(); ++d) {
+      if (s == d) continue;
+      EXPECT_EQ(migrated.route(s, d).ports(), fresh.route(s, d).ports());
+    }
+  for (NodeId n = 0; n < t.num_nodes(); ++n)
+    EXPECT_EQ(migrated.level(n), fresh.level(n));
+}
+
+TEST(UpDown, SetRootAllPairsStayLegal) {
+  RandomStream rng(5);
+  const Topology t = make_random_mesh(10, 3.0, rng);
+  UpDownRouting r(t);
+  for (HostId h = 0; h < t.num_hosts(); h += 3) {
+    r.set_root(t.switch_of_host(h));
+    for (HostId s = 0; s < t.num_hosts(); ++s)
+      for (HostId d = 0; d < t.num_hosts(); ++d) {
+        if (s == d) continue;
+        expect_legal(t, r, s, d);
+        walk_route(t, s, d, r.route(s, d));
+      }
+  }
+}
+
+TEST(UpDown, SetRootToHostThrows) {
+  const Topology t = make_star(3);
+  UpDownRouting r(t);
+  EXPECT_THROW(r.set_root(t.node_of_host(0)), std::logic_error);
+}
+
 }  // namespace
 }  // namespace wormcast
