@@ -9,6 +9,7 @@
 // bit-identical no matter how many workers ran them.
 #pragma once
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <mutex>
@@ -37,6 +38,9 @@ namespace wormcast::bench {
 ///   --strategy NAME   tree strategy for benches that support it
 ///                     (single-root | partition-merge | load-aware |
 ///                     multi-root); rejected here so a typo fails fast
+///   --queue KIND      event-queue implementation (calendar | heap);
+///                     results are bit-identical either way, only timing
+///                     differs (A/B runs for the hot-path work)
 struct BenchArgs {
   bool quick = false;
   bool check = false;
@@ -49,6 +53,8 @@ struct BenchArgs {
   std::string trace_out;
   TreeStrategyKind strategy = TreeStrategyKind::kSingleRoot;
   bool strategy_explicit = false;
+  EventQueueKind queue = EventQueueKind::kCalendar;
+  bool queue_explicit = false;
 };
 
 /// Ring capacity --check auto-sizes to when --trace-cap is not given:
@@ -91,11 +97,20 @@ inline BenchArgs parse_bench_args(int argc, char** argv) {
         std::exit(2);
       }
       args.strategy_explicit = true;
+    } else if (arg == "--queue" && i + 1 < argc) {
+      const char* name = argv[++i];
+      if (!parse_event_queue_kind(name, &args.queue)) {
+        std::fprintf(stderr,
+                     "unknown event queue '%s' (expected calendar or heap)\n",
+                     name);
+        std::exit(2);
+      }
+      args.queue_explicit = true;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--quick] [--check] [--jobs N] [--reps N] "
                    "[--trace-cap N] [--trace-out <file.trace.json>] "
-                   "[--strategy NAME]\n",
+                   "[--strategy NAME] [--queue calendar|heap]\n",
                    argv[0]);
       std::exit(2);
     }
@@ -143,6 +158,20 @@ inline DeadlockWatchdog& arm_watchdog(Network& net, Time interval = 250'000) {
 /// the JSON cell into an explicit null instead of a fake zero.
 inline std::optional<double> opt(double v, bool has) {
   return has ? std::optional<double>(v) : std::nullopt;
+}
+
+/// Formats a double for BENCH_*.json. %.17g guarantees bit-exact
+/// round-trip through any correct JSON parser (so the perf gate compares
+/// values, never formatting artifacts); the decimal separator is forced
+/// to '.' in case a host library dragged in a comma locale; non-finite
+/// values become JSON null (Infinity/NaN are not JSON).
+inline std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  for (char* c = buf; *c != '\0'; ++c)
+    if (*c == ',') *c = '.';
+  return std::string(buf);
 }
 
 /// Accumulates numeric result rows and writes them as BENCH_<name>.json —
@@ -218,9 +247,9 @@ class JsonBench {
         std::fprintf(f, "%s\"%s\": ", i == 0 ? "" : ", ",
                      rows_[r][i].first.c_str());
         if (rows_[r][i].second.has_value())
-          std::fprintf(f, "%.6g", *rows_[r][i].second);
+          std::fputs(json_number(*rows_[r][i].second).c_str(), f);
         else
-          std::fprintf(f, "null");
+          std::fputs("null", f);
       }
       std::fprintf(f, "}");
     }
@@ -228,22 +257,24 @@ class JsonBench {
     if (!counters_.empty()) {
       std::fprintf(f, ", \"counters\": {");
       for (std::size_t i = 0; i < counters_.size(); ++i)
-        std::fprintf(f, "%s\"%s\": %.6g", i == 0 ? "" : ", ",
-                     counters_[i].first.c_str(), counters_[i].second);
+        std::fprintf(f, "%s\"%s\": %s", i == 0 ? "" : ", ",
+                     counters_[i].first.c_str(),
+                     json_number(counters_[i].second).c_str());
       std::fprintf(f, "}");
     }
     if (!meta_.empty() || !point_wall_ms_.empty()) {
       std::fprintf(f, ", \"meta\": {");
       bool first = true;
       for (const auto& [key, value] : meta_) {
-        std::fprintf(f, "%s\"%s\": %.6g", first ? "" : ", ", key.c_str(),
-                     value);
+        std::fprintf(f, "%s\"%s\": %s", first ? "" : ", ", key.c_str(),
+                     json_number(value).c_str());
         first = false;
       }
       if (!point_wall_ms_.empty()) {
         std::fprintf(f, "%s\"point_wall_ms\": [", first ? "" : ", ");
         for (std::size_t i = 0; i < point_wall_ms_.size(); ++i)
-          std::fprintf(f, "%s%.6g", i == 0 ? "" : ", ", point_wall_ms_[i]);
+          std::fprintf(f, "%s%s", i == 0 ? "" : ", ",
+                       json_number(point_wall_ms_[i]).c_str());
         std::fprintf(f, "]");
       }
       std::fprintf(f, "}");

@@ -14,8 +14,11 @@
 // cut-through is lowest at light load and loses its edge at heavier load
 // (converging to S&F); latencies blow up approaching saturation
 // (~0.11-0.12 utilization).
+//
+// The sweep runs (load, scheme) points on a SweepRunner pool (--jobs N);
+// each point is an independent Network, and the CSV/JSON rows are
+// bit-identical at any job count.
 #include <cstdio>
-#include <string>
 #include <vector>
 
 #include "bench_util.h"
@@ -46,9 +49,9 @@ Point run_point(Scheme scheme, double gen_load, std::uint64_t seed, Time warmup,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
-  const Time warmup = quick ? 20'000 : 50'000;
-  const Time measure = quick ? 60'000 : 200'000;
+  const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
+  const Time warmup = args.quick ? 20'000 : 50'000;
+  const Time measure = args.quick ? 60'000 : 200'000;
 
   std::printf("# Figure 10: average multicast latency (byte-times) vs offered "
               "load, 8x8 torus\n");
@@ -60,20 +63,43 @@ int main(int argc, char** argv) {
                       {"util_hc_sf", "lat_hc_sf", "util_hc_ct", "lat_hc_ct",
                        "util_tree", "lat_tree"});
   const std::vector<double> loads =
-      quick ? std::vector<double>{0.025, 0.045, 0.06}
-            : std::vector<double>{0.022, 0.028, 0.034, 0.040, 0.046,
-                                  0.052, 0.058, 0.062, 0.066};
-  for (const double load : loads) {
-    const Point sf = run_point(Scheme::kHamiltonianSF, load, 1, warmup, measure);
-    const Point ct = run_point(Scheme::kHamiltonianCT, load, 1, warmup, measure);
-    // The paper's "rooted tree" curve is the broadcast-on-tree variant
-    // (Section 6's lower-latency alternative; store-and-forward at each
-    // member, two buffer classes, no total ordering).
-    const Point tr = run_point(Scheme::kTreeBroadcast, load, 1, warmup, measure);
-    std::printf("%.3f,%.3f,%.0f,%.3f,%.0f,%.3f,%.0f\n", load, sf.utilization,
-                sf.latency, ct.utilization, ct.latency, tr.utilization,
-                tr.latency);
-    std::fflush(stdout);
+      args.quick ? std::vector<double>{0.025, 0.045, 0.06}
+                 : std::vector<double>{0.022, 0.028, 0.034, 0.040, 0.046,
+                                       0.052, 0.058, 0.062, 0.066};
+  // The paper's "rooted tree" curve is the broadcast-on-tree variant
+  // (Section 6's lower-latency alternative; store-and-forward at each
+  // member, two buffer classes, no total ordering).
+  const std::vector<Scheme> schemes = {
+      Scheme::kHamiltonianSF, Scheme::kHamiltonianCT, Scheme::kTreeBroadcast};
+
+  const std::size_t n_points = loads.size() * schemes.size();
+  bench::JsonBench json("fig10_torus_latency");
+  json.resize_rows(loads.size());
+  const harness::WallTimer sweep;
+  harness::SweepRunner pool(args.jobs);
+  std::vector<Point> results(n_points);
+  const auto walls = pool.run_indexed(n_points, [&](std::size_t i) {
+    results[i] = run_point(schemes[i % schemes.size()],
+                           loads[i / schemes.size()], 1, warmup, measure);
+  });
+
+  for (std::size_t l = 0; l < loads.size(); ++l) {
+    const Point& sf = results[l * schemes.size()];
+    const Point& ct = results[l * schemes.size() + 1];
+    const Point& tr = results[l * schemes.size() + 2];
+    std::printf("%.3f,%.3f,%.0f,%.3f,%.0f,%.3f,%.0f\n", loads[l],
+                sf.utilization, sf.latency, ct.utilization, ct.latency,
+                tr.utilization, tr.latency);
+    json.set_row(l, {{"gen_load", loads[l]},
+                     {"util_hc_sf", sf.utilization},
+                     {"lat_hc_sf", sf.latency},
+                     {"util_hc_ct", ct.utilization},
+                     {"lat_hc_ct", ct.latency},
+                     {"util_tree", tr.utilization},
+                     {"lat_tree", tr.latency}});
   }
+  std::fflush(stdout);
+  bench::stamp_sweep_meta(json, pool, walls, sweep);
+  json.write();
   return 0;
 }

@@ -7,8 +7,11 @@
 // shape: significant loss whenever hosts originate as well as forward,
 // growing with packet size (fewer packets fit in the ~25 KB LANai buffer);
 // the single-sender case loses nothing.
+//
+// The sweep runs (packet size, sender mode) points on a SweepRunner pool
+// (--jobs N); each point is an independent Network, and the CSV/JSON rows
+// are bit-identical at any job count.
 #include <cstdio>
-#include <string>
 #include <vector>
 
 #include "bench_util.h"
@@ -17,23 +20,52 @@
 using namespace wormcast;
 
 int main(int argc, char** argv) {
-  const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
-  const Time span = quick ? 3'000'000 : 12'000'000;
+  const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
+  const Time span = args.quick ? 3'000'000 : 12'000'000;
 
   std::printf("# Figure 13: packet loss per host vs packet size, all hosts "
               "sending+receiving (single-sender shown as control)\n");
   bench::print_header("packet_bytes",
                       {"loss_all_send_receive", "loss_single_sender"});
   const std::vector<std::int64_t> sizes =
-      quick ? std::vector<std::int64_t>{1024, 4096, 8192}
-            : std::vector<std::int64_t>{1024, 2048, 3072, 4096, 5120,
-                                        6144, 7168, 8192};
-  for (const std::int64_t size : sizes) {
-    const auto all = bench::run_testbed(8, size, span);
-    const auto single = bench::run_testbed(1, size, span);
-    std::printf("%lld,%.3f,%.3f\n", static_cast<long long>(size),
+      args.quick ? std::vector<std::int64_t>{1024, 4096, 8192}
+                 : std::vector<std::int64_t>{1024, 2048, 3072, 4096, 5120,
+                                             6144, 7168, 8192};
+
+  // One sweep point per (size, mode); even index = all-send, odd = single.
+  const std::size_t n_points = sizes.size() * 2;
+  bench::JsonBench json("fig13_packet_loss");
+  json.resize_rows(sizes.size());
+  bench::CheckCollector checks(args.check);
+  checks.resize(n_points);
+  const harness::WallTimer sweep;
+  harness::SweepRunner pool(args.jobs);
+  std::vector<bench::TestbedResult> results(n_points);
+  const auto walls = pool.run_indexed(n_points, [&](std::size_t i) {
+    const std::int64_t size = sizes[i / 2];
+    const bool all = (i % 2) == 0;
+    char label[64];
+    std::snprintf(label, sizeof label, "packet=%lld mode=%s",
+                  static_cast<long long>(size), all ? "all" : "single");
+    results[i] = bench::run_testbed(all ? 8 : 1, size, span,
+                                    /*burst=*/true, /*tracing=*/false,
+                                    /*trace_out=*/{}, args.trace_cap, &checks,
+                                    i, label);
+  });
+
+  for (std::size_t s = 0; s < sizes.size(); ++s) {
+    const auto& all = results[s * 2];
+    const auto& single = results[s * 2 + 1];
+    std::printf("%lld,%.3f,%.3f\n", static_cast<long long>(sizes[s]),
                 all.loss_rate, single.loss_rate);
-    std::fflush(stdout);
+    json.set_row(s, {{"packet_bytes", static_cast<double>(sizes[s])},
+                     {"loss_all_send_receive", all.loss_rate},
+                     {"loss_single_sender", single.loss_rate},
+                     {"all_send_throughput_mbps", all.throughput_mbps}});
   }
-  return 0;
+  std::fflush(stdout);
+  bench::stamp_sweep_meta(json, pool, walls, sweep);
+  const int check_rc = checks.finalize(&json);
+  json.write();
+  return check_rc;
 }

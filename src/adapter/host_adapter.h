@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 
 #include "net/channel.h"
@@ -125,6 +126,15 @@ class HostAdapter final : public ByteFeed, public RxSink {
     return !tx_active_ && tx_queue_.empty() && control_queue_.empty();
   }
 
+  /// Fires whenever a transmitted tail leaves queued_own_originations() at
+  /// zero — the wake signal for fast-forwarded saturating applications
+  /// (sim/idle_poller.h). Only covers the transmit path: a crash or purge
+  /// can also drain the queue without a tail, so drivers that inject
+  /// faults should poll in legacy mode instead.
+  void set_drain_listener(std::function<void()> listener) {
+    drain_listener_ = std::move(listener);
+  }
+
   /// Crash-stop support: discard every queued (not yet started) worm. The
   /// active plan finishes — its DMA is committed to the wire — but nothing
   /// queued behind it ever leaves a dead host.
@@ -194,6 +204,7 @@ class HostAdapter final : public ByteFeed, public RxSink {
   AdapterConfig config_;
   AdapterClient* client_ = nullptr;
   FaultInjector* faults_ = nullptr;
+  std::function<void()> drain_listener_;
 
   // Transmit state.
   std::deque<TxPlan> control_queue_;

@@ -73,14 +73,14 @@ void HostProtocol::on_unicast_flushed(const WormPtr& worm) {
       return;
     }
     metrics_.on_retransmit();
-    auto copy = std::make_shared<Worm>();
+    auto copy = new_worm();
     copy->id = worm->id;
     copy->kind = WormKind::kData;
     copy->src = host_;
     copy->dst = worm->dst;
     copy->payload = worm->payload;
     copy->header = worm->header;
-    copy->route = routing_.route(host_, worm->dst);
+    routing_.route_into(host_, worm->dst, copy->route);
     copy->mcast = worm->mcast;
     copy->message = worm->message;
     copy->created_at = worm->created_at;
@@ -96,12 +96,12 @@ void HostProtocol::originate_unicast(const Demand& d) {
     metrics_.abandon_message(ctx);
     return;
   }
-  auto worm = std::make_shared<Worm>();
+  auto worm = new_worm();
   worm->kind = WormKind::kData;
   worm->src = host_;
   worm->dst = d.dst;
   worm->payload = d.length;
-  worm->route = routing_.route(host_, d.dst);
+  routing_.route_into(host_, d.dst, worm->route);
   worm->message = ctx;
   worm->created_at = ctx->created_at;
   worm->id = ctx->message_id;
@@ -124,12 +124,12 @@ void HostProtocol::originate_multicast(const Demand& d) {
     // out of the source adapter.
     for (const HostId m : circuit.order()) {
       if (m == host_) continue;
-      auto worm = std::make_shared<Worm>();
+      auto worm = new_worm();
       worm->kind = WormKind::kData;
       worm->src = host_;
       worm->dst = m;
       worm->payload = d.length;
-      worm->route = routing_.route(host_, m);
+      routing_.route_into(host_, m, worm->route);
       worm->message = ctx;
       worm->created_at = ctx->created_at;
       worm->id = ctx->message_id;
@@ -292,13 +292,13 @@ std::vector<HostProtocol::Task::Send> HostProtocol::plan_successors(
 
 WormPtr HostProtocol::make_data_worm(const TaskPtr& task,
                                      const Task::Send& send) const {
-  auto worm = std::make_shared<Worm>();
+  auto worm = new_worm();
   worm->kind = WormKind::kData;
   worm->src = host_;
   worm->dst = send.to;
   worm->payload = task->payload;
   worm->header = config_.mcast_header_bytes;
-  worm->route = routing_.route(host_, send.to);
+  routing_.route_into(host_, send.to, worm->route);
   worm->mcast = send.header;
   worm->message = task->ctx;
   worm->created_at = task->ctx->created_at;
@@ -314,13 +314,13 @@ WormPtr HostProtocol::make_control_worm(WormKind kind,
     WORMTRACE(sim_, kProtoAckSent, host_, -1, data_worm->id, data_worm->src);
   else if (kind == WormKind::kNack)
     WORMTRACE(sim_, kProtoNackSent, host_, -1, data_worm->id, data_worm->src);
-  auto worm = std::make_shared<Worm>();
+  auto worm = new_worm();
   worm->kind = kind;
   worm->src = host_;
   worm->dst = data_worm->src;
   worm->payload = config_.control_payload;
   worm->header = config_.mcast_header_bytes;
-  worm->route = routing_.route(host_, data_worm->src);
+  routing_.route_into(host_, data_worm->src, worm->route);
   worm->mcast = data_worm->mcast;
   worm->message = data_worm->message;
   worm->id = data_worm->id;
@@ -1169,13 +1169,13 @@ std::vector<HostId> HostProtocol::probe_targets() const {
 }
 
 WormPtr HostProtocol::make_probe_worm(HostId dst, WormKind kind) const {
-  auto worm = std::make_shared<Worm>();
+  auto worm = new_worm();
   worm->kind = kind;
   worm->src = host_;
   worm->dst = dst;
   worm->payload = config_.control_payload;
   worm->header = config_.mcast_header_bytes;
-  worm->route = routing_.route(host_, dst);
+  routing_.route_into(host_, dst, worm->route);
   return worm;
 }
 
@@ -1212,13 +1212,13 @@ HostProtocol::DebugSnapshot HostProtocol::debug_snapshot() const {
 WormPtr HostProtocol::make_credit_worm(CreditOp op, HostId dst, GroupId group,
                                        std::uint64_t message_id,
                                        std::int64_t seq) const {
-  auto worm = std::make_shared<Worm>();
+  auto worm = new_worm();
   worm->kind = WormKind::kData;
   worm->src = host_;
   worm->dst = dst;
   worm->payload = config_.control_payload;
   worm->header = config_.mcast_header_bytes;
-  worm->route = routing_.route(host_, dst);
+  routing_.route_into(host_, dst, worm->route);
   McastHeader h;
   h.group = group;
   h.message_id = message_id;

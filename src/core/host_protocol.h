@@ -33,6 +33,7 @@
 #include "core/protocol_config.h"
 #include "net/updown.h"
 #include "net/worm.h"
+#include "sim/arena.h"
 #include "sim/random.h"
 #include "sim/simulator.h"
 #include "traffic/generator.h"
@@ -106,6 +107,11 @@ class HostProtocol final : public AdapterClient {
   void on_member_left(HostId leaver, GroupId g,
                       const std::vector<GroupTables::Reattachment>& adopted);
 
+  /// Points the protocol at the network's shared worm arena (sim/arena.h);
+  /// without one (unit tests building protocols directly) worms fall back
+  /// to plain make_shared.
+  void set_worm_pool(RecyclePool<Worm>* pool) { worm_pool_ = pool; }
+
   [[nodiscard]] HostId host() const { return host_; }
   [[nodiscard]] const BufferPool& pool() const { return pool_; }
   /// Forwarding tasks currently holding buffer space.
@@ -177,6 +183,12 @@ class HostProtocol final : public AdapterClient {
     bool aborted = false;      // torn down (truncated reception)
   };
   using TaskPtr = std::shared_ptr<Task>;
+
+  /// All worm construction funnels through here so the arena can recycle.
+  [[nodiscard]] WormPtr new_worm() const {
+    return worm_pool_ != nullptr ? worm_pool_->make()
+                                 : std::make_shared<Worm>();
+  }
 
   void originate_unicast(const Demand& d);
   void originate_multicast(const Demand& d);
@@ -275,6 +287,7 @@ class HostProtocol final : public AdapterClient {
   RandomStream rng_;
   HostId host_;
   BufferPool pool_;
+  RecyclePool<Worm>* worm_pool_ = nullptr;  // Network-owned; may be null
 
   /// True when the scheme delivers in a globally agreed order (trees are
   /// root-serialized by construction; the circuit when total_ordering).

@@ -12,7 +12,10 @@ namespace wormcast {
 
 Network::Network(Topology topo, std::vector<MulticastGroupSpec> groups,
                  ExperimentConfig config)
-    : topo_(std::move(topo)), groups_(std::move(groups)), config_(config) {
+    : topo_(std::move(topo)),
+      groups_(std::move(groups)),
+      config_(config),
+      sim_(config.engine.queue) {
   topo_.validate();
   fabric_ = std::make_unique<Fabric>(sim_, topo_, config_.fabric);
   routing_ = std::make_unique<UpDownRouting>(topo_, config_.routing);
@@ -45,9 +48,11 @@ Network::Network(Topology topo, std::vector<MulticastGroupSpec> groups,
         sim_, *adapters_.back(), *routing_, *tables_, metrics_,
         config_.protocol, master.fork(0x5000 + static_cast<std::uint64_t>(h)),
         n));
+    protocols_.back()->set_worm_pool(&worm_pool_);
     protocols_.back()->set_failure_listener(
         [this](HostId dead) { declare_host_dead(dead); });
   }
+  mcast_engine_->set_worm_pool(&worm_pool_);
   traffic_ = std::make_unique<TrafficGenerator>(
       sim_, config_.traffic, groups_, n, master.fork(0x7AFF1C),
       [this](const Demand& d) { inject(d); });
@@ -153,7 +158,7 @@ void Network::gate_dispatch(GatedSend send, std::vector<NodeId> nodes) {
 
 void Network::gate_inject(const GatedSend& send) {
   if (send.broadcast) {
-    auto worm = std::make_shared<Worm>();
+    auto worm = worm_pool_.make();
     worm->id = send.ctx->message_id;
     worm->kind = WormKind::kSwitchMcast;
     worm->src = send.src;
@@ -173,7 +178,7 @@ void Network::gate_inject(const GatedSend& send) {
   const McastPlan plan =
       strategy_->plan_multicast(send.group, send.src, members.order());
   for (const McastPartition& part : plan.partitions) {
-    auto worm = std::make_shared<Worm>();
+    auto worm = worm_pool_.make();
     worm->id = send.ctx->message_id;
     worm->kind = WormKind::kSwitchMcast;
     worm->src = send.src;

@@ -23,6 +23,8 @@
 #include "net/topology.h"
 #include "net/tree_strategy.h"
 #include "net/updown.h"
+#include "net/worm.h"
+#include "sim/arena.h"
 #include "sim/counters.h"
 #include "sim/fault_injector.h"
 #include "sim/simulator.h"
@@ -60,7 +62,15 @@ struct MembershipConfig {
   Time join_grace = 150'000;
 };
 
+/// Simulator-engine knobs. These pick implementations, not behavior: any
+/// queue kind produces bit-identical results (queue_equivalence_test pins
+/// it), so benches can flip them freely for A/B timing.
+struct EngineConfig {
+  EventQueueKind queue = EventQueueKind::kCalendar;
+};
+
 struct ExperimentConfig {
+  EngineConfig engine;
   FabricConfig fabric;
   AdapterConfig adapter;
   ProtocolConfig protocol;
@@ -137,6 +147,10 @@ class Network {
   void run_to_quiescence() { sim_.run(); }
 
   [[nodiscard]] Simulator& sim() { return sim_; }
+  /// The shared worm arena (see sim/arena.h); benches read its counters.
+  [[nodiscard]] const RecyclePool<Worm>& worm_pool() const {
+    return worm_pool_;
+  }
   [[nodiscard]] const Topology& topology() const { return topo_; }
   [[nodiscard]] Fabric& fabric() { return *fabric_; }
   [[nodiscard]] const UpDownRouting& routing() const { return *routing_; }
@@ -365,6 +379,7 @@ class Network {
   std::vector<MulticastGroupSpec> groups_;
   ExperimentConfig config_;
   Simulator sim_;
+  RecyclePool<Worm> worm_pool_;
   Metrics metrics_;
   std::unique_ptr<Fabric> fabric_;
   std::unique_ptr<FaultInjector> faults_;

@@ -26,6 +26,8 @@ class SourceRoute {
 
   [[nodiscard]] std::size_t size() const { return ports_.size(); }
   [[nodiscard]] bool empty() const { return ports_.empty(); }
+  /// Empties the route but keeps the allocation (worm-recycling path).
+  void clear() { ports_.clear(); }
   [[nodiscard]] PortId at(std::size_t hop) const { return ports_[hop]; }
   [[nodiscard]] const std::vector<PortId>& ports() const { return ports_; }
 
@@ -77,6 +79,8 @@ class EncodedMcastRoute {
 
   [[nodiscard]] std::size_t size_bytes() const { return bytes_.size(); }
   [[nodiscard]] bool empty() const;
+  /// Empties the route but keeps the allocation (worm-recycling path).
+  void clear() { bytes_.clear(); }
   [[nodiscard]] const std::vector<std::uint8_t>& bytes() const { return bytes_; }
   [[nodiscard]] std::string to_string() const;
 

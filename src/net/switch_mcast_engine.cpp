@@ -170,7 +170,8 @@ void SwitchMcastEngine::claim_complete(Conn& c, std::size_t idx) {
   WORMTRACE(sim_, kMcastFragOpen, c.sw->node(), b.port, c.worm->id, idx);
   // Fresh worm object per fragment: downstream treats each fragment as an
   // independent worm carrying its own (re-prepended) route.
-  auto frag = std::make_shared<Worm>();
+  auto frag = worm_pool_ != nullptr ? worm_pool_->make()
+                                    : std::make_shared<Worm>();
   frag->id = c.worm->id;
   frag->kind = WormKind::kSwitchMcast;
   frag->src = c.worm->src;

@@ -29,6 +29,8 @@
 #include "net/switch_mcast.h"
 #include "net/topology.h"
 #include "net/updown.h"
+#include "net/worm.h"
+#include "sim/arena.h"
 
 namespace wormcast {
 
@@ -59,6 +61,10 @@ class SwitchMcastEngine final : public McastEngine {
   using FlushHandler = std::function<void(const WormPtr&)>;
   void set_flush_handler(FlushHandler handler) { flush_handler_ = std::move(handler); }
 
+  /// Points the engine at the network's shared worm arena so per-switch
+  /// fragment worms recycle instead of allocating; optional (tests).
+  void set_worm_pool(RecyclePool<Worm>* pool) { worm_pool_ = pool; }
+
   [[nodiscard]] std::int64_t connections_opened() const { return connections_; }
   [[nodiscard]] std::int64_t fragments_sent() const { return fragments_; }
   [[nodiscard]] std::int64_t unicasts_flushed() const { return flushed_; }
@@ -88,6 +94,7 @@ class SwitchMcastEngine final : public McastEngine {
   const UpDownRouting& routing_;
   SwitchMcastConfig config_;
   FlushHandler flush_handler_;
+  RecyclePool<Worm>* worm_pool_ = nullptr;  // Network-owned; may be null
   std::unordered_map<InPort*, std::unique_ptr<Conn>> conns_;
   std::int64_t connections_ = 0;
   std::int64_t fragments_ = 0;

@@ -183,6 +183,17 @@ SourceRoute UpDownRouting::route(HostId src, HostId dst) const {
   return out;
 }
 
+void UpDownRouting::route_into(HostId src, HostId dst, SourceRoute& out) const {
+  if (src == dst) throw std::logic_error("route to self");
+  const std::uint64_t key = pair_key(src, dst);
+  const auto it = route_cache_.find(key);
+  if (it != route_cache_.end()) {
+    out = it->second;  // vector copy-assign reuses out's allocation
+    return;
+  }
+  out = route(src, dst);
+}
+
 int UpDownRouting::hop_count(HostId src, HostId dst) const {
   if (src == dst) return 0;
   const std::uint64_t key = pair_key(src, dst);

@@ -70,6 +70,11 @@ class UpDownRouting {
   /// simulations). Throws if src == dst or no surviving legal path exists.
   [[nodiscard]] SourceRoute route(HostId src, HostId dst) const;
 
+  /// Copies route(src, dst) into `out` instead of returning a fresh
+  /// vector; recycled worms pass their previous route here so the copy
+  /// reuses the existing allocation (vector copy-assignment).
+  void route_into(HostId src, HostId dst, SourceRoute& out) const;
+
   /// Number of switch-to-switch hops on route(src, dst) plus host links;
   /// the "hop count" metric used to weigh host-connectivity edges
   /// (Section 5, Figure 8).

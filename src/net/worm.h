@@ -116,6 +116,29 @@ struct Worm {
   Time created_at = 0;   // logical message creation time
   Time injected_at = 0;  // when this copy's head entered the fabric
 
+  /// Restores the just-constructed state while keeping the route buffers'
+  /// capacities, so RecyclePool<Worm> can hand this object out again
+  /// without reallocating (see sim/arena.h).
+  void recycle() {
+    id = 0;
+    kind = WormKind::kData;
+    src = kNoHost;
+    dst = kNoHost;
+    payload = 0;
+    header = 0;
+    route.clear();
+    mcast_route.clear();
+    route_offset = 0;
+    broadcast_flood = false;
+    flushed = false;
+    truncated = false;
+    mcast.reset();
+    message.reset();
+    token_counts.reset();
+    created_at = 0;
+    injected_at = 0;
+  }
+
   /// Wire length of this copy at injection (before any stripping).
   /// Broadcast floods carry a unicast climb route plus one broadcast
   /// marker byte consumed at the flood point.

@@ -1,0 +1,109 @@
+// A fixed-capacity, allocation-free callable for simulator events.
+//
+// EventQueue::schedule used to take a std::function<void()>; any capture
+// list larger than the library's small-object buffer (16 bytes on
+// libstdc++) heap-allocated on every schedule — one malloc/free pair per
+// retransmit timer, per worm-holding retry closure, per saturating-app
+// poll. InlineAction stores the callable in a 64-byte in-place buffer
+// instead, sized for the largest hot-path capture (this + a shared_ptr +
+// a couple of scalars), so steady-state scheduling never touches the
+// allocator. Callables that genuinely exceed the buffer (rare, setup-time
+// composites) fall back to the heap transparently rather than failing to
+// compile — the invariant protected here is "no allocation in steady
+// state", not "no allocation ever".
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace wormcast {
+
+/// Move-only void() callable with a 64-byte inline buffer.
+class InlineAction {
+ public:
+  static constexpr std::size_t kInlineBytes = 64;
+
+  InlineAction() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineAction> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  InlineAction(F&& f) {  // NOLINT(google-explicit-constructor): drop-in for
+                         // std::function at every schedule() call site
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineBytes &&
+                  alignof(Fn) <= alignof(std::max_align_t)) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      ops_ = &inline_ops<Fn>;
+    } else {
+      *reinterpret_cast<void**>(buf_) = new Fn(std::forward<F>(f));
+      ops_ = &heap_ops<Fn>;
+    }
+  }
+
+  InlineAction(InlineAction&& other) noexcept { move_from(other); }
+  InlineAction& operator=(InlineAction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+  InlineAction(const InlineAction&) = delete;
+  InlineAction& operator=(const InlineAction&) = delete;
+  ~InlineAction() { reset(); }
+
+  [[nodiscard]] explicit operator bool() const { return ops_ != nullptr; }
+
+  void operator()() { ops_->invoke(buf_); }
+
+  void reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  /// Manual vtable: one static instance per stored callable type.
+  struct Ops {
+    void (*invoke)(void* buf);
+    /// Moves the callable from `src` into `dst` and destroys the source.
+    void (*relocate)(void* dst, void* src);
+    void (*destroy)(void* buf);
+  };
+
+  template <typename Fn>
+  static constexpr Ops inline_ops = {
+      [](void* buf) { (*std::launder(reinterpret_cast<Fn*>(buf)))(); },
+      [](void* dst, void* src) {
+        Fn* from = std::launder(reinterpret_cast<Fn*>(src));
+        ::new (dst) Fn(std::move(*from));
+        from->~Fn();
+      },
+      [](void* buf) { std::launder(reinterpret_cast<Fn*>(buf))->~Fn(); }};
+
+  template <typename Fn>
+  static constexpr Ops heap_ops = {
+      [](void* buf) { (**reinterpret_cast<Fn**>(buf))(); },
+      [](void* dst, void* src) {
+        *reinterpret_cast<void**>(dst) = *reinterpret_cast<void**>(src);
+      },
+      [](void* buf) { delete *reinterpret_cast<Fn**>(buf); }};
+
+  void move_from(InlineAction& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(buf_, other.buf_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace wormcast

@@ -1,13 +1,32 @@
-// A cancellable discrete-event queue ordered by (time, insertion sequence).
+// A cancellable discrete-event queue ordered by (time, late, sequence).
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <vector>
 
+#include "sim/action.h"
 #include "sim/types.h"
 
 namespace wormcast {
+
+/// Which pending-event structure backs an EventQueue.
+///
+/// Both structures fire events in exactly the same order — the comparator
+/// (time, late, insertion sequence) is a total order, so any correct
+/// priority queue yields the identical event sequence bit for bit (the
+/// queue-equivalence suite pins this on full experiment sweeps). They
+/// differ only in cost: the flat binary heap pays O(log n) per operation
+/// on one big array; the calendar queue pays amortized O(1) by hashing
+/// events into time-bucketed mini-heaps, which wins once thousand-host
+/// fabrics keep tens of thousands of events pending.
+enum class EventQueueKind : std::uint8_t {
+  kCalendar,  // bucketed calendar queue (default)
+  kHeap,      // flat binary heap (PR 3's structure; equivalence + debugging)
+};
+
+[[nodiscard]] const char* to_string(EventQueueKind kind);
+/// Parses "calendar" / "heap" (bench --queue flag). Returns false on junk.
+bool parse_event_queue_kind(const char* name, EventQueueKind* out);
 
 /// Handle returned by EventQueue::schedule; can be used to cancel the event.
 /// Value-semantic and cheap to copy. A default-constructed handle is invalid.
@@ -15,7 +34,11 @@ namespace wormcast {
 /// Internally the handle names a reusable slot plus the generation the slot
 /// had when the event was scheduled; a stale handle (its event fired or was
 /// cancelled and the slot was reused) no longer matches the slot's current
-/// generation, so cancelling it is a guaranteed no-op.
+/// generation, so cancelling it is a guaranteed no-op. Generations are
+/// 64-bit: a uint32 would wrap after 2^32 retire/reuse cycles of one slot,
+/// at which point a hoarded stale handle would alias a live event and
+/// cancel() would kill it. 2^64 cycles is unreachable (centuries at a
+/// billion events per wall-second), so a handle can be held forever.
 class EventHandle {
  public:
   EventHandle() = default;
@@ -24,27 +47,36 @@ class EventHandle {
  private:
   friend class EventQueue;
   static constexpr std::uint32_t kNoSlot = 0xFFFFFFFFu;
-  EventHandle(std::uint32_t slot, std::uint32_t gen) : slot_(slot), gen_(gen) {}
+  EventHandle(std::uint32_t slot, std::uint64_t gen) : slot_(slot), gen_(gen) {}
   std::uint32_t slot_ = kNoSlot;
-  std::uint32_t gen_ = 0;
+  std::uint64_t gen_ = 0;
 };
 
-/// Min-heap of timestamped callbacks. Events at equal times fire in
-/// insertion order, which makes runs fully deterministic.
+/// Priority queue of timestamped callbacks. Events at equal times fire in
+/// insertion order (late-class events after every same-time normal event),
+/// which makes runs fully deterministic.
+///
+/// Allocation discipline: actions are InlineActions stored in the slot
+/// arena (a recycled vector indexed by the handle's slot), and the
+/// pending-event entries are 32-byte PODs — so schedule()/cancel()/pop()
+/// never allocate in steady state, whatever the capture size, and heap
+/// sift/bucket moves shuffle PODs instead of closures.
 ///
 /// Cancellation is lazy: a cancelled event's slot is stamped dead in O(1)
-/// and the heap entry is skipped later — except when the cancelled entry is
-/// the current heap head, in which case it (and any dead entries it was
-/// shadowing) is removed immediately. That maintains the invariant that the
-/// heap head is always live, so next_time() is a pure read. When dead
-/// entries ever outnumber live ones the heap is compacted in one pass, so a
-/// workload that schedules and cancels millions of timers (ACK timeouts on
-/// a faulted run) holds O(live) memory, not O(ever scheduled).
+/// (its action is destroyed immediately, releasing captured shared_ptrs)
+/// and the parked POD entry is skipped when it surfaces — except when the
+/// cancelled entry is the current head, in which case it is removed
+/// immediately so the head-is-live invariant holds and next_time() stays a
+/// pure read. When dead entries outnumber live ones the structure is
+/// compacted in one pass, so a workload that schedules and cancels
+/// millions of timers holds O(live) memory, not O(ever scheduled).
 class EventQueue {
  public:
-  using Action = std::function<void()>;
+  using Action = InlineAction;
 
-  EventQueue();
+  explicit EventQueue(EventQueueKind kind = EventQueueKind::kCalendar);
+
+  [[nodiscard]] EventQueueKind kind() const { return kind_; }
 
   /// Schedules `action` at absolute time `when`. Events with `late` set
   /// fire after every same-time normal event regardless of insertion
@@ -64,7 +96,7 @@ class EventQueue {
   /// Time of the earliest live event; kTimeNever when empty. Pure read:
   /// the head-is-live invariant means no cleanup is ever needed here.
   [[nodiscard]] Time next_time() const {
-    return heap_.empty() ? kTimeNever : heap_.front().time;
+    return live_count_ == 0 ? kTimeNever : head_time_;
   }
 
   /// Removes and returns the earliest live event. Precondition: !empty().
@@ -74,54 +106,114 @@ class EventQueue {
   };
   Popped pop();
 
-  /// High-water mark of heap occupancy (live + lazily-cancelled entries);
+  /// High-water mark of queue occupancy (live + lazily-cancelled entries);
   /// the hot-path bench reports it as the queue's peak memory proxy.
   [[nodiscard]] std::size_t peak_size() const { return peak_size_; }
-  /// Dead entries currently parked in the heap awaiting a skip/compaction.
-  [[nodiscard]] std::size_t cancelled_in_heap() const { return cancelled_in_heap_; }
+  /// Dead entries currently parked awaiting a skip/compaction.
+  [[nodiscard]] std::size_t cancelled_in_heap() const { return dead_parked_; }
+  /// Calendar-mode bucket count (1 in heap mode); resize-policy telemetry.
+  [[nodiscard]] std::size_t bucket_count() const {
+    return kind_ == EventQueueKind::kCalendar ? buckets_.size() : 1;
+  }
 
  private:
+  /// POD pending-event entry. `key` packs the tie-break: bit 63 is the
+  /// late flag (late fires after every same-time normal event) and the low
+  /// 63 bits are the insertion sequence — so ordering by (time, key)
+  /// equals ordering by (time, late, seq). The action itself lives in the
+  /// slot arena, so sift and bucket moves shuffle 32 trivially-copyable
+  /// bytes, never a closure.
   struct Entry {
     Time time = 0;
-    std::uint64_t seq = 0;   // insertion order; breaks (time, late) ties
-    std::uint32_t slot = 0;  // cancellation identity
-    std::uint32_t gen = 0;   // slot generation at schedule time
-    bool late = false;       // fires after same-time normal events
-    Action action;
+    std::uint64_t key = 0;
+    std::uint32_t slot = 0;
+    std::uint64_t gen = 0;  // slot generation at schedule time
   };
   /// std::push_heap/pop_heap build a max-heap w.r.t. this comparator, so
-  /// "later is greater" puts the earliest (time, late, seq) at the front.
+  /// "later is greater" puts the earliest (time, key) at the front.
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const {
       if (a.time != b.time) return a.time > b.time;
-      if (a.late != b.late) return a.late;
-      return a.seq > b.seq;
+      return a.key > b.key;
     }
   };
+  /// One arena cell: the scheduled action plus the generation stamp that
+  /// invalidates stale handles and stale parked entries.
   struct Slot {
-    std::uint32_t gen = 1;
+    Action action;
+    std::uint64_t gen = 1;
     bool live = false;
   };
 
-  /// The generation check matters: a cancelled entry stays parked in the
-  /// heap while its slot may be reused by a newer event, and slot liveness
-  /// alone would make that stale entry look alive again.
+  /// The generation check matters: a cancelled entry stays parked while
+  /// its slot may be reused by a newer event, and slot liveness alone
+  /// would make that stale entry look alive again.
   [[nodiscard]] bool entry_live(const Entry& e) const {
     const Slot& s = slots_[e.slot];
     return s.live && s.gen == e.gen;
   }
-  std::uint32_t acquire_slot();
+  std::uint32_t acquire_slot(Action action);
   void retire_slot(std::uint32_t slot);
-  /// Pops dead entries off the heap head until it is live (or empty).
-  void drop_dead_head();
-  /// Rebuilds the heap without its dead entries.
-  void compact();
 
-  std::vector<Entry> heap_;
+  // --- flat-heap structure ---------------------------------------------
+  void heap_insert(const Entry& e);
+  void heap_drop_dead_head();
+  void heap_compact();
+  Entry heap_take();
+
+  // --- calendar structure ----------------------------------------------
+  [[nodiscard]] std::size_t bucket_of(Time t) const {
+    return static_cast<std::size_t>(static_cast<std::uint64_t>(t) >>
+                                    width_log2_) &
+           bucket_mask_;
+  }
+  [[nodiscard]] Time window_end_of(Time t) const {
+    const Time width = Time{1} << width_log2_;
+    return (t & ~(width - 1)) + width;
+  }
+  void cal_insert(const Entry& e);
+  Entry cal_take();
+  /// Drops dead entries off bucket `b`'s heap head.
+  void cal_clean_head(std::vector<Entry>& b);
+  /// Re-establishes the head cache: positions the cursor on the bucket
+  /// holding the earliest live event and records its (time, key). The
+  /// cursor walks forward window by window; if a full rotation finds
+  /// nothing (sparse far-future events), it jumps straight to the global
+  /// minimum across bucket heads instead of walking empty years.
+  void cal_find_head();
+  /// Rebuilds the calendar with `count` buckets and a width fitted to the
+  /// current live population (power-of-two; deterministic in the queue
+  /// contents). Dead parked entries are dropped in passing.
+  void cal_resize(std::size_t count);
+  void cal_compact() { cal_resize(buckets_.size()); }
+  void cal_maybe_resize();
+
+  EventQueueKind kind_;
+
+  // Slot arena (both modes).
   std::vector<Slot> slots_;
   std::vector<std::uint32_t> free_slots_;
+
+  // Flat-heap state.
+  std::vector<Entry> heap_;
+
+  // Calendar state. Buckets are mini-heaps ordered by Later; the head
+  // cache (head_time_/head_key_/head_slot_) always names the earliest
+  // live event, which sits at buckets_[cursor_].front().
+  std::vector<std::vector<Entry>> buckets_;
+  std::size_t bucket_mask_ = 0;
+  unsigned width_log2_ = 4;
+  std::size_t cursor_ = 0;
+  Time window_end_ = 0;
+  std::size_t entries_parked_ = 0;  // live + dead across all buckets
+
+  // Head cache (calendar mode; the heap keeps its head at heap_[0]).
+  Time head_time_ = kTimeNever;
+  std::uint64_t head_key_ = 0;
+  std::uint32_t head_slot_ = 0;
+
   std::size_t live_count_ = 0;
-  std::size_t cancelled_in_heap_ = 0;
+  std::size_t dead_parked_ = 0;
   std::uint64_t next_seq_ = 1;
   std::size_t peak_size_ = 0;
 };

@@ -18,7 +18,8 @@ namespace wormcast {
 /// the DeadlockWatchdog uses it to distinguish "quiescent" from "deadlocked".
 class Simulator {
  public:
-  Simulator() = default;
+  explicit Simulator(EventQueueKind queue_kind = EventQueueKind::kCalendar)
+      : queue_(queue_kind) {}
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
@@ -58,6 +59,7 @@ class Simulator {
   [[nodiscard]] std::size_t event_queue_peak() const {
     return queue_.peak_size();
   }
+  [[nodiscard]] EventQueueKind queue_kind() const { return queue_.kind(); }
 
   /// Progress accounting: bumped by components when a byte of payload moves
   /// anywhere in the network. Monotone; used for deadlock detection.
