@@ -41,11 +41,16 @@ namespace wormcast::bench {
 ///   --queue KIND      event-queue implementation (calendar | heap);
 ///                     results are bit-identical either way, only timing
 ///                     differs (A/B runs for the hot-path work)
+///   --shards N        executors for the sharded in-run engine (benches
+///                     that support it; default 1 = classic single-queue).
+///                     Results are bit-identical at any shard count — the
+///                     CI shard gate diffs the rows — only wall time moves
 struct BenchArgs {
   bool quick = false;
   bool check = false;
   int jobs = 1;
   int reps = 1;
+  int shards = 1;
   std::size_t trace_cap = Tracer::kDefaultCapacity;
   /// True when --trace-cap was passed: --check then respects the user's
   /// capacity (and refuses loudly if the ring wraps) instead of auto-sizing.
@@ -79,6 +84,9 @@ inline BenchArgs parse_bench_args(int argc, char** argv) {
     } else if (arg == "--reps" && i + 1 < argc) {
       args.reps = std::atoi(argv[++i]);
       if (args.reps < 1) args.reps = 1;
+    } else if (arg == "--shards" && i + 1 < argc) {
+      args.shards = std::atoi(argv[++i]);
+      if (args.shards < 1) args.shards = 1;
     } else if (arg == "--trace-cap" && i + 1 < argc) {
       const long long cap = std::atoll(argv[++i]);
       if (cap > 0) {
@@ -109,7 +117,8 @@ inline BenchArgs parse_bench_args(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: %s [--quick] [--check] [--jobs N] [--reps N] "
-                   "[--trace-cap N] [--trace-out <file.trace.json>] "
+                   "[--shards N] [--trace-cap N] "
+                   "[--trace-out <file.trace.json>] "
                    "[--strategy NAME] [--queue calendar|heap]\n",
                    argv[0]);
       std::exit(2);

@@ -56,7 +56,8 @@ int main(int argc, char** argv) {
     results[i] = bench::run_testbed(single ? 1 : 8, size, span,
                                     /*burst=*/true, /*tracing=*/false,
                                     traced ? args.trace_out : std::string(),
-                                    args.trace_cap, &checks, i, label);
+                                    args.trace_cap, &checks, i, label,
+                                    args.shards);
   });
 
   for (std::size_t s = 0; s < sizes.size(); ++s) {

@@ -77,6 +77,16 @@ struct TestbedOptions {
   /// 0 = the paper's 4-switch / 8-host testbed; N > 0 = an N x N torus
   /// with one host per switch (N*N hosts; the 1k-host point is N = 32).
   int torus = 0;
+  /// Executors for the sharded in-run engine (core/network.h): 1 = the
+  /// classic single-queue simulator. Results are bit-identical at any
+  /// count; only wall time moves.
+  int shards = 1;
+  /// Overrides the built-in testbed/torus topology entirely (the
+  /// large-fabric bench's Clos and wide-torus points). When set, `torus`
+  /// is ignored and the host count comes from the topology. Optional
+  /// stage labels feed UpDownOptions::level_override.
+  const Topology* topology = nullptr;
+  const std::vector<int>* topology_levels = nullptr;
   /// 0 = saturating applications (inject whenever the previous own packet
   /// left the card). > 0 = lightly loaded: each sender injects one packet
   /// per `inject_period` byte-times — the LAN-at-rest workload where the
@@ -105,9 +115,14 @@ struct TestbedOptions {
 /// to the all-hosts group as fast as their adapters accept them, for
 /// `span` byte-times; throughput/loss are measured after a span/5 warmup.
 inline TestbedResult run_testbed(const TestbedOptions& opts) {
-  const int n_hosts = opts.torus > 0 ? opts.torus * opts.torus : 8;
+  const int n_hosts = opts.topology != nullptr
+                          ? opts.topology->num_hosts()
+                          : (opts.torus > 0 ? opts.torus * opts.torus : 8);
   ExperimentConfig cfg;
   cfg.engine.queue = opts.queue;
+  cfg.engine.shards = opts.shards;
+  if (opts.topology_levels != nullptr)
+    cfg.routing.level_override = *opts.topology_levels;
   cfg.fabric.burst_channels = opts.burst_channels;
   cfg.protocol.scheme = Scheme::kHamiltonianSF;
   cfg.protocol.reservation = false;   // the Section 8 implementation
@@ -132,8 +147,10 @@ inline TestbedResult run_testbed(const TestbedOptions& opts) {
   } else {
     groups.push_back(make_full_group(n_hosts));
   }
-  Network net(opts.torus > 0 ? make_torus(opts.torus, opts.torus)
-                             : make_myrinet_testbed(),
+  Network net(opts.topology != nullptr
+                  ? *opts.topology
+                  : (opts.torus > 0 ? make_torus(opts.torus, opts.torus)
+                                    : make_myrinet_testbed()),
               groups, cfg);
   const bool checking = opts.checks != nullptr && opts.checks->enabled();
   if (opts.tracing || checking || !opts.trace_out.empty())
@@ -230,14 +247,14 @@ inline TestbedResult run_testbed(const TestbedOptions& opts) {
   const double window = static_cast<double>(span - warmup);
   out.throughput_mbps = to_mbps(rx_total / window / receivers);
   out.loss_rate = arrivals > 0.0 ? drops / arrivals : 0.0;
-  out.events_dispatched = net.sim().events_dispatched();
-  out.event_queue_peak = static_cast<std::int64_t>(net.sim().event_queue_peak());
+  out.events_dispatched = net.events_dispatched();
+  out.event_queue_peak = static_cast<std::int64_t>(net.event_queue_peak());
   out.bytes_on_wire = net.fabric().fabric_bytes_sent();
   for (const auto& poller : pollers) out.app_polls += poller->polls();
   out.pool_fresh = static_cast<std::int64_t>(net.worm_pool().fresh_allocs());
   out.pool_reused = static_cast<std::int64_t>(net.worm_pool().reuses());
-  out.trace_events = net.sim().tracer().recorded();
-  out.trace_dropped = net.sim().tracer().dropped();
+  out.trace_events = net.trace_recorded();
+  out.trace_dropped = net.trace_dropped();
   CounterRegistry reg;
   net.register_counters(reg);
   out.counters = reg.snapshot();
@@ -262,12 +279,14 @@ inline TestbedResult run_testbed(int senders, std::int64_t packet_size,
                                      Tracer::kDefaultCapacity,
                                  CheckCollector* checks = nullptr,
                                  std::size_t check_slot = 0,
-                                 std::string check_label = {}) {
+                                 std::string check_label = {},
+                                 int shards = 1) {
   TestbedOptions opts;
   opts.senders = senders;
   opts.packet_size = packet_size;
   opts.span = span;
   opts.burst_channels = burst_channels;
+  opts.shards = shards;
   opts.tracing = tracing;
   opts.trace_out = trace_out;
   opts.trace_cap = trace_cap;

@@ -15,6 +15,7 @@
 #include <memory>
 
 #include "net/channel.h"
+#include "sim/lazy_deque.h"
 #include "net/fabric.h"
 #include "net/worm.h"
 #include "sim/simulator.h"
@@ -117,6 +118,12 @@ class HostAdapter final : public ByteFeed, public RxSink {
   [[nodiscard]] std::size_t tx_queue_depth() const {
     return tx_queue_.size() + control_queue_.size();
   }
+
+  /// Estimated resident bytes for this adapter (memory audit).
+  [[nodiscard]] std::size_t heap_bytes_estimate() const {
+    return sizeof(HostAdapter) + control_queue_.heap_bytes_estimate() +
+           tx_queue_.heap_bytes_estimate();
+  }
   /// Data worms queued or transmitting that this host *originated* (as
   /// opposed to copies it forwards for others). Saturating applications use
   /// this to model "send the next packet as soon as the previous own packet
@@ -207,8 +214,8 @@ class HostAdapter final : public ByteFeed, public RxSink {
   std::function<void()> drain_listener_;
 
   // Transmit state.
-  std::deque<TxPlan> control_queue_;
-  std::deque<TxPlan> tx_queue_;
+  LazyDeque<TxPlan> control_queue_;
+  LazyDeque<TxPlan> tx_queue_;
   bool tx_active_ = false;   // a plan is attached to the channel
   bool tx_gap_ = false;      // waiting out the per-worm overhead
   TxPlan current_;

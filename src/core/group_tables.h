@@ -59,6 +59,11 @@ class CircuitTable {
   /// chain alive when its downstream stop departs too.
   [[nodiscard]] HostId successor_of(HostId h) const;
 
+  /// Estimated resident bytes (memory audit).
+  [[nodiscard]] std::size_t heap_bytes_estimate() const {
+    return order_.capacity() * sizeof(HostId);
+  }
+
  private:
   std::vector<HostId> order_;  // ascending IDs
 };
@@ -123,6 +128,19 @@ class TreeTable {
   /// becomes the new root instead. No existing edge moves either way.
   AddResult add_member(HostId h, const EdgeCost& cost, int max_fanout);
   AddResult add_member(HostId h, const UpDownRouting& routing, int max_fanout);
+
+  /// Estimated resident bytes (memory audit): member list plus the
+  /// parent/children maps, using the usual ~32-byte hash-node overhead.
+  [[nodiscard]] std::size_t heap_bytes_estimate() const {
+    std::size_t bytes = members_.capacity() * sizeof(HostId) +
+                        parent_.size() * (sizeof(std::pair<HostId, HostId>) + 32) +
+                        parent_.bucket_count() * sizeof(void*) +
+                        children_.bucket_count() * sizeof(void*);
+    for (const auto& [h, kids] : children_)
+      bytes += sizeof(std::pair<HostId, std::vector<HostId>>) + 32 +
+               kids.capacity() * sizeof(HostId);
+    return bytes;
+  }
 
  private:
   HostId root_ = kNoHost;
@@ -199,6 +217,22 @@ class GroupTables {
   const TreeStrategy* strategy_ = nullptr;
   std::unordered_map<GroupId, CircuitTable> circuits_;
   std::unordered_map<GroupId, TreeTable> trees_;
+
+ public:
+  /// Estimated resident bytes across every group's circuit and tree
+  /// (memory audit, mem_tables_bytes).
+  [[nodiscard]] std::size_t heap_bytes_estimate() const {
+    std::size_t bytes = sizeof(GroupTables) +
+                        circuits_.bucket_count() * sizeof(void*) +
+                        trees_.bucket_count() * sizeof(void*);
+    for (const auto& [g, c] : circuits_)
+      bytes += sizeof(std::pair<GroupId, CircuitTable>) + 32 +
+               c.heap_bytes_estimate();
+    for (const auto& [g, t] : trees_)
+      bytes += sizeof(std::pair<GroupId, TreeTable>) + 32 +
+               t.heap_bytes_estimate();
+    return bytes;
+  }
 };
 
 }  // namespace wormcast

@@ -368,4 +368,17 @@ std::int64_t SwitchRt::slack_capacity(PortId p) const {
   return config_.stop_threshold + 2 * delay + 4;
 }
 
+std::size_t SwitchRt::heap_bytes_estimate() const {
+  std::size_t bytes = sizeof(SwitchRt) +
+                      in_ports_.capacity() * sizeof(std::unique_ptr<InPort>) +
+                      out_ports_.capacity() * sizeof(OutPort) +
+                      in_channels_.capacity() * sizeof(Channel*);
+  for (const auto& in : in_ports_)
+    if (in) bytes += in->heap_bytes_estimate();
+  for (const auto& out : out_ports_)
+    bytes += out.waiters.heap_bytes_estimate() +
+             out.mcast_waiters.heap_bytes_estimate();
+  return bytes;
+}
+
 }  // namespace wormcast

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "net/channel.h"
+#include "sim/lazy_deque.h"
 #include "net/worm.h"
 #include "sim/simulator.h"
 #include "sim/types.h"
@@ -58,6 +59,10 @@ class InPort final : public RxSink, public ByteFeed {
   [[nodiscard]] bool stop_sent() const { return stop_sent_; }
   /// Worms queued in this port (front one may be mid-forward).
   [[nodiscard]] std::size_t worms_pending() const { return rx_queue_.size(); }
+  /// Estimated resident bytes for this input port (memory audit).
+  [[nodiscard]] std::size_t heap_bytes_estimate() const {
+    return sizeof(InPort) + rx_queue_.heap_bytes_estimate();
+  }
   /// Bytes of the front worm available to forward right now. Burst-delivered
   /// bytes whose logical arrival time is still in the future do not count
   /// (they become forwardable one per byte-time, exactly as if the upstream
@@ -116,7 +121,7 @@ class InPort final : public RxSink, public ByteFeed {
 
   SwitchRt& sw_;
   PortId port_;
-  std::deque<RxWorm> rx_queue_;
+  LazyDeque<RxWorm> rx_queue_;
   std::int64_t buffered_ = 0;  // bytes held in the slack buffer
   bool stop_sent_ = false;
 
@@ -135,14 +140,14 @@ class InPort final : public RxSink, public ByteFeed {
 struct OutPort {
   Channel* channel = nullptr;
   bool busy = false;
-  std::deque<InPort*> waiters;
+  LazyDeque<InPort*> waiters;
   /// True while a same-tick arbitration event is scheduled for this port.
   bool arb_pending = false;
   /// Set while a switch-level multicast branch holds this port.
   bool held_by_mcast = false;
   /// Multicast branches waiting for the port; served before unicast
   /// waiters (invoked to claim the port when it frees).
-  std::deque<std::function<void()>> mcast_waiters;
+  LazyDeque<std::function<void()>> mcast_waiters;
   /// Time at which the port last moved a data byte (multicast-IDLE
   /// detection, Section 3 scheme (c)).
   Time last_data_byte = 0;
@@ -197,6 +202,10 @@ class SwitchRt {
   [[nodiscard]] OutPort& out_port(PortId p) { return out_ports_[p]; }
   [[nodiscard]] InPort& in_port(PortId p) { return *in_ports_[p]; }
   [[nodiscard]] Channel* in_channel(PortId p) { return in_channels_[p]; }
+  /// Estimated resident bytes for this switch and its ports (memory
+  /// audit): object + port arrays + every port queue that has ever held
+  /// an element.
+  [[nodiscard]] std::size_t heap_bytes_estimate() const;
 
   /// Installs the switch-level multicast engine (nullptr = multicast worms
   /// are a protocol error at this switch).

@@ -75,6 +75,87 @@ Topology make_bidir_shufflenet(int p, int k, Time link_delay,
   return t;
 }
 
+namespace {
+/// Fills `levels_out` (when requested) with one stage label per node.
+/// Switch labels come from `switch_level`; every host gets `host_level`.
+void emit_stage_levels(const Topology& t,
+                       const std::vector<int>& switch_level, int host_level,
+                       std::vector<int>* levels_out) {
+  if (levels_out == nullptr) return;
+  levels_out->assign(static_cast<std::size_t>(t.num_nodes()), host_level);
+  for (std::size_t n = 0; n < switch_level.size(); ++n)
+    (*levels_out)[n] = switch_level[n];
+}
+}  // namespace
+
+Topology make_clos(int spines, int leaves, int hosts_per_leaf, Time link_delay,
+                   Time host_link_delay, std::vector<int>* levels_out) {
+  if (spines < 1 || leaves < 2 || hosts_per_leaf < 1)
+    throw std::invalid_argument("clos needs >= 1 spine, >= 2 leaves, >= 1 host/leaf");
+  Topology t;
+  std::vector<int> sw_level;
+  std::vector<NodeId> spine_sw, leaf_sw;
+  for (int s = 0; s < spines; ++s) {
+    spine_sw.push_back(t.add_switch("spine" + std::to_string(s)));
+    sw_level.push_back(0);
+  }
+  for (int l = 0; l < leaves; ++l) {
+    leaf_sw.push_back(t.add_switch("leaf" + std::to_string(l)));
+    sw_level.push_back(1);
+  }
+  for (const NodeId leaf : leaf_sw)
+    for (const NodeId spine : spine_sw) t.connect(spine, leaf, link_delay);
+  for (const NodeId leaf : leaf_sw)
+    for (int h = 0; h < hosts_per_leaf; ++h)
+      t.connect(t.add_host(), leaf, host_link_delay);
+  t.validate();
+  emit_stage_levels(t, sw_level, /*host_level=*/2, levels_out);
+  return t;
+}
+
+Topology make_fat_tree(int k, Time link_delay, Time host_link_delay,
+                       std::vector<int>* levels_out) {
+  if (k < 2 || k % 2 != 0)
+    throw std::invalid_argument("fat tree needs an even k >= 2");
+  const int half = k / 2;
+  Topology t;
+  std::vector<int> sw_level;
+  std::vector<NodeId> cores;
+  for (int c = 0; c < half * half; ++c) {
+    cores.push_back(t.add_switch("core" + std::to_string(c)));
+    sw_level.push_back(0);
+  }
+  std::vector<std::vector<NodeId>> edges(static_cast<std::size_t>(k));
+  for (int p = 0; p < k; ++p) {
+    std::vector<NodeId> aggs;
+    for (int a = 0; a < half; ++a) {
+      aggs.push_back(
+          t.add_switch("agg" + std::to_string(p) + "_" + std::to_string(a)));
+      sw_level.push_back(1);
+    }
+    for (int e = 0; e < half; ++e) {
+      edges[static_cast<std::size_t>(p)].push_back(
+          t.add_switch("edge" + std::to_string(p) + "_" + std::to_string(e)));
+      sw_level.push_back(2);
+    }
+    // Aggregation switch a serves core group [a*half, (a+1)*half).
+    for (int a = 0; a < half; ++a)
+      for (int i = 0; i < half; ++i)
+        t.connect(cores[static_cast<std::size_t>(a * half + i)],
+                  aggs[static_cast<std::size_t>(a)], link_delay);
+    for (const NodeId agg : aggs)
+      for (const NodeId edge : edges[static_cast<std::size_t>(p)])
+        t.connect(agg, edge, link_delay);
+  }
+  for (int p = 0; p < k; ++p)
+    for (const NodeId edge : edges[static_cast<std::size_t>(p)])
+      for (int h = 0; h < half; ++h)
+        t.connect(t.add_host(), edge, host_link_delay);
+  t.validate();
+  emit_stage_levels(t, sw_level, /*host_level=*/3, levels_out);
+  return t;
+}
+
 Topology make_myrinet_testbed(Time link_delay, Time host_link_delay) {
   Topology t;
   std::vector<NodeId> sw;

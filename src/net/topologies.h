@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "net/topology.h"
 #include "sim/random.h"
@@ -23,6 +24,32 @@ Topology make_torus(int rows, int cols, int hosts_per_switch = 1,
 Topology make_bidir_shufflenet(int p, int k,
                                Time link_delay = kDefaultLinkDelay,
                                Time host_link_delay = kDefaultLinkDelay);
+
+/// Three-stage folded Clos (spine/leaf): `spines` top-stage switches, each
+/// of the `leaves` bottom-stage switches linked to every spine, and
+/// `hosts_per_leaf` hosts per leaf. Switch ids run spines first, then
+/// leaves (stage-major — the sharded engine bands switches by id, so a
+/// band stays within one or two stages). When `levels_out` is non-null it
+/// receives the stage label of every node (spines 0, leaves 1, hosts 2) —
+/// pass it as UpDownOptions::level_override so *every* spine can turn a
+/// route around (the BFS labels would funnel all traffic through the root
+/// spine; the degree-based default root would even pick a leaf, since a
+/// leaf's degree is spines + hosts_per_leaf).
+Topology make_clos(int spines, int leaves, int hosts_per_leaf,
+                   Time link_delay = kDefaultLinkDelay,
+                   Time host_link_delay = kDefaultLinkDelay,
+                   std::vector<int>* levels_out = nullptr);
+
+/// k-ary fat tree (the three-stage Clos folded once more): (k/2)^2 core
+/// switches, k pods of k/2 aggregation + k/2 edge switches, k/2 hosts per
+/// edge — k^3/4 hosts total. k must be even and >= 2. Aggregation switch j
+/// of every pod links to cores [j*k/2, (j+1)*k/2); every edge links to
+/// every aggregation switch in its pod. Switch ids run cores first, then
+/// pod by pod (aggs, then edges). `levels_out` receives stage labels
+/// (cores 0, aggs 1, edges 2, hosts 3) for UpDownOptions::level_override.
+Topology make_fat_tree(int k, Time link_delay = kDefaultLinkDelay,
+                       Time host_link_delay = kDefaultLinkDelay,
+                       std::vector<int>* levels_out = nullptr);
 
 /// The measurement testbed of Section 8.2: four switches in a line, eight
 /// hosts (two per switch).

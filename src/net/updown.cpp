@@ -9,9 +9,25 @@
 namespace wormcast {
 
 UpDownRouting::UpDownRouting(const Topology& topo, Options opts)
-    : topo_(topo), tree_links_only_(opts.tree_links_only) {
-  // Root: requested, or the highest-degree switch (lowest id on ties).
+    : topo_(topo),
+      tree_links_only_(opts.tree_links_only),
+      level_override_(std::move(opts.level_override)) {
+  if (!level_override_.empty() &&
+      level_override_.size() != static_cast<std::size_t>(topo_.num_nodes()))
+    throw std::logic_error(
+        "level_override must label every node (hosts included)");
+  // Root: requested; else the lowest (stage, id) switch when stage labels
+  // are given; else the highest-degree switch (lowest id on ties).
   preferred_root_ = opts.root;
+  if (preferred_root_ == kNoNode && !level_override_.empty()) {
+    for (NodeId n = 0; n < topo_.num_nodes(); ++n) {
+      if (topo_.node(n).kind != NodeKind::kSwitch) continue;
+      if (preferred_root_ == kNoNode ||
+          level_override_[static_cast<std::size_t>(n)] <
+              level_override_[static_cast<std::size_t>(preferred_root_)])
+        preferred_root_ = n;
+    }
+  }
   if (preferred_root_ == kNoNode) {
     std::size_t best_degree = 0;
     for (NodeId n = 0; n < topo_.num_nodes(); ++n) {
@@ -59,14 +75,21 @@ void UpDownRouting::rebuild(bool allow_partial) {
 
   // Up/down labels: the up end is the endpoint with the smaller level;
   // node id breaks ties (lower id counts as higher in the tree). Dead and
-  // disconnected links keep kNoNode, and no route may use them.
+  // disconnected links keep kNoNode, and no route may use them. With a
+  // level_override the *stage* labels replace the BFS distances (still a
+  // total (level, id) order, so still acyclic and deadlock-free); BFS
+  // levels keep deciding connectivity either way.
   up_end_.assign(static_cast<std::size_t>(topo_.num_links()), kNoNode);
   for (LinkId l = 0; l < topo_.num_links(); ++l) {
     if (link_dead_[l]) continue;
     const TopoLink& lk = topo_.link(l);
-    const int la = levels_[lk.node_a];
-    const int lb = levels_[lk.node_b];
-    if (la == -1 || lb == -1) continue;
+    if (levels_[lk.node_a] == -1 || levels_[lk.node_b] == -1) continue;
+    const int la = level_override_.empty()
+                       ? levels_[lk.node_a]
+                       : level_override_[static_cast<std::size_t>(lk.node_a)];
+    const int lb = level_override_.empty()
+                       ? levels_[lk.node_b]
+                       : level_override_[static_cast<std::size_t>(lk.node_b)];
     if (la != lb)
       up_end_[l] = la < lb ? lk.node_a : lk.node_b;
     else

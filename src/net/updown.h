@@ -24,11 +24,25 @@ namespace wormcast {
 
 struct UpDownOptions {
   /// Root switch; kNoNode selects the highest-degree switch (lowest id on
-  /// ties), mimicking Autonet's preference for a central root.
+  /// ties), mimicking Autonet's preference for a central root — unless
+  /// `level_override` is set, in which case the lowest (level, id) switch
+  /// wins (a Clos leaf out-degrees a spine, so the degree heuristic would
+  /// root the tree in the wrong stage).
   NodeId root = kNoNode;
   /// Restrict routes to spanning-tree links only (switch-level multicast
   /// scheme 1 requires this of *all* worms; Section 3).
   bool tree_links_only = false;
+  /// Stage labels by NodeId (must cover every node, hosts included, when
+  /// non-empty): the up end of each link becomes the endpoint with the
+  /// smaller label, id breaking ties, instead of the BFS-distance rule.
+  /// Any total (level, id) order keeps up*/down* deadlock-free (it is an
+  /// acyclic orientation, so no circular wait survives); what the stage
+  /// labels buy is *path diversity* on multi-stage fabrics — with BFS
+  /// levels only the root spine of a Clos sits above the leaves and every
+  /// route funnels through it, while stage labels make every leaf->spine
+  /// traversal "up" so any spine can turn a route around. Generators emit
+  /// these via their `levels_out` parameter (see net/topologies.h).
+  std::vector<int> level_override;
 };
 
 class UpDownRouting {
@@ -114,6 +128,7 @@ class UpDownRouting {
   NodeId root_ = kNoNode;
   NodeId preferred_root_ = kNoNode;  // survives rebuilds while reachable
   bool tree_links_only_ = false;
+  std::vector<int> level_override_;  // empty = BFS-distance labels
   std::vector<int> levels_;       // by NodeId
   std::vector<NodeId> up_end_;    // by LinkId
   std::vector<bool> on_tree_;     // by LinkId

@@ -116,6 +116,18 @@ class EventQueue {
     return kind_ == EventQueueKind::kCalendar ? buckets_.size() : 1;
   }
 
+  /// Estimated heap bytes behind the queue (slot arena, heap/bucket
+  /// storage). Capacity-based, so it is deterministic for a given event
+  /// sequence — the memory audit's mem_queue_bytes counter.
+  [[nodiscard]] std::size_t heap_bytes_estimate() const {
+    std::size_t bytes = slots_.capacity() * sizeof(Slot) +
+                        free_slots_.capacity() * sizeof(std::uint32_t) +
+                        heap_.capacity() * sizeof(Entry) +
+                        buckets_.capacity() * sizeof(std::vector<Entry>);
+    for (const auto& b : buckets_) bytes += b.capacity() * sizeof(Entry);
+    return bytes;
+  }
+
  private:
   /// POD pending-event entry. `key` packs the tie-break: bit 63 is the
   /// late flag (late fires after every same-time normal event) and the low

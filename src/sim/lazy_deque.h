@@ -1,0 +1,92 @@
+// A std::deque that defers its first allocation until the first push.
+//
+// libstdc++'s deque eagerly allocates its map array plus one ~512-byte
+// element chunk at construction. That is invisible in ones and tens, but
+// the fabric instantiates queues per switch port and per channel
+// direction: a 64x64 torus carries ~70k of them (input-buffer worm
+// queues, output-port waiter lists, channel in-flight windows), most of
+// which never hold an element in a given run — at 4k hosts the empty
+// chunks alone were ~55 MiB, the single worst per-entity overhead in the
+// memory audit (mem_* counters, core/network.cpp). LazyDeque keeps the
+// empty state at one pointer and materializes the real deque on first
+// use; a queue that has been touched keeps its chunk (working-set
+// behavior — draining back to empty does not free, so hot-path
+// push/pop never re-allocates).
+//
+// The interface is the slice of std::deque the fabric uses. Reference
+// stability matches std::deque (push at the ends never invalidates
+// references, which SwitchRt's `&rx == &rx_queue_.front()` identity
+// checks rely on). begin()/end() of a never-touched queue return
+// value-initialized iterators, which compare equal on the toolchains we
+// build with (their internal pointers are all null).
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <utility>
+
+namespace wormcast {
+
+template <typename T>
+class LazyDeque {
+ public:
+  using iterator = typename std::deque<T>::iterator;
+  using const_iterator = typename std::deque<T>::const_iterator;
+
+  [[nodiscard]] bool empty() const { return q_ == nullptr || q_->empty(); }
+  [[nodiscard]] std::size_t size() const { return q_ ? q_->size() : 0; }
+
+  T& front() { return q_->front(); }
+  const T& front() const { return q_->front(); }
+  T& back() { return q_->back(); }
+  const T& back() const { return q_->back(); }
+
+  void push_back(const T& v) { inner().push_back(v); }
+  void push_back(T&& v) { inner().push_back(std::move(v)); }
+  template <typename... Args>
+  T& emplace_back(Args&&... args) {
+    return inner().emplace_back(std::forward<Args>(args)...);
+  }
+  void pop_front() { q_->pop_front(); }
+  void clear() {
+    if (q_) q_->clear();
+  }
+
+  iterator begin() { return q_ ? q_->begin() : iterator{}; }
+  iterator end() { return q_ ? q_->end() : iterator{}; }
+  [[nodiscard]] const_iterator begin() const {
+    return q_ ? q_->begin() : const_iterator{};
+  }
+  [[nodiscard]] const_iterator end() const {
+    return q_ ? q_->end() : const_iterator{};
+  }
+  iterator erase(iterator pos) { return q_->erase(pos); }
+  iterator erase(iterator first, iterator last) {
+    return q_ ? q_->erase(first, last) : iterator{};
+  }
+
+  /// Estimated heap bytes behind this queue (the memory audit's unit of
+  /// account): zero until first touched, then the deque's bookkeeping
+  /// plus one element chunk — the dominant term; a queue deep enough to
+  /// span several chunks is transient and not worth modeling.
+  [[nodiscard]] std::size_t heap_bytes_estimate() const {
+    if (!q_) return 0;
+    return sizeof(std::deque<T>) + kChunkBytes +
+           (q_->size() > kChunkBytes / sizeof(T)
+                ? q_->size() * sizeof(T)
+                : 0);
+  }
+
+ private:
+  static constexpr std::size_t kChunkBytes = 512;  // libstdc++'s node size
+
+  std::deque<T>& inner() {
+    if (!q_) q_ = std::make_unique<std::deque<T>>();
+    return *q_;
+  }
+
+  std::unique_ptr<std::deque<T>> q_;
+};
+
+}  // namespace wormcast

@@ -1,0 +1,170 @@
+#include "sim/shard.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <utility>
+
+namespace wormcast {
+
+namespace {
+
+/// Sub-window barriers are sub-microsecond events; spin a little before
+/// conceding the core so an 8-core runner never pays a futex round-trip
+/// per window. A third tier sleeps outright: workers parked across a long
+/// gap (the engine is alive but the main thread is off summarizing or
+/// between bench points) must not pin a core.
+template <typename Pred>
+void spin_until(Pred pred) {
+  for (std::int64_t spins = 0; !pred(); ++spins) {
+    if (spins >= 1 << 20) {
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    } else if (spins >= 4096) {
+      std::this_thread::yield();
+    }
+  }
+}
+
+}  // namespace
+
+ShardBus::ShardBus(int n_execs)
+    : outboxes_(static_cast<std::size_t>(n_execs)) {}
+
+void ShardBus::post(int src, int target, Time time, bool late,
+                    InlineAction action) {
+  Outbox& box = outboxes_[static_cast<std::size_t>(src)];
+  box.posts.push_back(Posted{time, box.next_seq++, target, src, late,
+                             std::move(action)});
+}
+
+void ShardBus::enqueue_barrier_task(int exec, BarrierTask task) {
+  outboxes_[static_cast<std::size_t>(exec)].tasks.push_back(task);
+}
+
+void ShardBus::drain_into(const std::vector<Simulator*>& sims) {
+  merge_.clear();
+  for (Outbox& box : outboxes_) {
+    for (Posted& p : box.posts) merge_.push_back(std::move(p));
+    box.posts.clear();
+  }
+  // Canonical order: (time, late, src, seq) is a total order because
+  // (src, seq) is unique, so the insertion sequence each target queue
+  // assigns to same-time messages is reproducible run to run.
+  std::sort(merge_.begin(), merge_.end(), [](const Posted& a, const Posted& b) {
+    if (a.time != b.time) return a.time < b.time;
+    if (a.late != b.late) return !a.late;
+    if (a.src != b.src) return a.src < b.src;
+    return a.seq < b.seq;
+  });
+  for (Posted& p : merge_) {
+    Simulator* sim = sims[static_cast<std::size_t>(p.target)];
+    if (p.late)
+      sim->at_late(p.time, std::move(p.action));
+    else
+      sim->at(p.time, std::move(p.action));
+  }
+  merge_.clear();
+  for (Outbox& box : outboxes_) {
+    for (const BarrierTask& t : box.tasks) t.fn(t.arg);
+    box.tasks.clear();
+  }
+}
+
+ShardedEngine::ShardedEngine(std::vector<Simulator*> sims, Time lookahead)
+    : sims_(std::move(sims)),
+      lookahead_(lookahead),
+      bus_(static_cast<int>(sims_.size())) {
+  assert(!sims_.empty());
+  assert(lookahead_ >= 1 && "lookahead window must cover at least one tick");
+  workers_.reserve(sims_.size() - 1);
+  for (std::size_t i = 1; i < sims_.size(); ++i)
+    workers_.emplace_back([this, i] { worker_main(static_cast<int>(i)); });
+}
+
+ShardedEngine::~ShardedEngine() {
+  shutdown_.store(true, std::memory_order_relaxed);
+  epoch_.fetch_add(1, std::memory_order_release);
+  for (std::thread& w : workers_) w.join();
+}
+
+void ShardedEngine::worker_main(int idx) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    spin_until(
+        [&] { return epoch_.load(std::memory_order_acquire) != seen; });
+    seen = epoch_.load(std::memory_order_acquire);
+    if (shutdown_.load(std::memory_order_relaxed)) return;
+    sims_[static_cast<std::size_t>(idx)]->run_until(window_end_);
+    done_.fetch_add(1, std::memory_order_release);
+  }
+}
+
+void ShardedEngine::run_window(Time end) {
+  window_end_ = end;
+  done_.store(0, std::memory_order_relaxed);
+  epoch_.fetch_add(1, std::memory_order_release);
+  sims_[0]->run_until(end);
+  const int need = static_cast<int>(workers_.size());
+  spin_until([&] { return done_.load(std::memory_order_acquire) == need; });
+  ++windows_;
+}
+
+Time ShardedEngine::next_event_time() const {
+  Time next = kTimeNever;
+  for (const Simulator* sim : sims_)
+    next = std::min(next, sim->next_event_time());
+  return next;
+}
+
+void ShardedEngine::run_until(Time deadline) {
+  for (;;) {
+    const Time next = next_event_time();
+    if (next > deadline) break;  // also covers kTimeNever
+    run_window(std::min(deadline, next + lookahead_ - 1));
+    bus_.drain_into(sims_);
+  }
+  // No executor holds an event at or before `deadline` and the bus is
+  // drained, so aligning the clocks dispatches nothing.
+  for (Simulator* sim : sims_) sim->run_until(deadline);
+}
+
+void ShardedEngine::run_to_quiescence() {
+  for (;;) {
+    const Time next = next_event_time();
+    if (next == kTimeNever) break;
+    run_window(next + lookahead_ - 1);
+    bus_.drain_into(sims_);
+  }
+}
+
+bool ShardedEngine::idle() const {
+  for (const Simulator* sim : sims_)
+    if (!sim->idle()) return false;
+  return true;
+}
+
+std::int64_t ShardedEngine::events_dispatched() const {
+  std::int64_t total = 0;
+  for (const Simulator* sim : sims_) total += sim->events_dispatched();
+  return total;
+}
+
+std::int64_t ShardedEngine::progress() const {
+  std::int64_t total = 0;
+  for (const Simulator* sim : sims_) total += sim->progress();
+  return total;
+}
+
+std::size_t ShardedEngine::event_queue_peak() const {
+  std::size_t total = 0;
+  for (const Simulator* sim : sims_) total += sim->event_queue_peak();
+  return total;
+}
+
+std::size_t ShardedEngine::pending_events() const {
+  std::size_t total = 0;
+  for (const Simulator* sim : sims_) total += sim->pending_events();
+  return total;
+}
+
+}  // namespace wormcast

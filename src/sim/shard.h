@@ -1,0 +1,153 @@
+// Conservative time-windowed parallel execution of one simulation.
+//
+// A sharded run partitions the component graph across E *executors*, each
+// owning a private Simulator (its own event queue, clock, tracer and
+// progress counter). Executor 0 runs on the calling thread; executors
+// 1..E-1 run on persistent worker threads. Execution proceeds in lookahead
+// windows: with W = the minimum propagation delay of any channel whose
+// transmitter and receiver live on different executors, every event fired
+// in the window [s, s+W-1] can only affect another executor at time
+// >= s+W — strictly after the window. So each window is run with zero
+// synchronization (every executor dispatches its own queue up to the
+// window end), and cross-executor effects are exchanged as timestamped
+// boundary messages on the ShardBus, merged into the target queues at the
+// barrier between windows.
+//
+// Determinism across shard counts is the contract (mirroring the sweep
+// --jobs story): the merge inserts boundary messages in the canonical
+// order (time, late-class, source executor, per-source emission sequence),
+// so each target queue's same-time tie-break order is a pure function of
+// the simulation state, never of thread timing. That makes the *insertion*
+// order reproducible for a fixed shard count; bit-identical physics across
+// *different* shard counts additionally relies on the same-tick
+// commutativity the engine modes already pin (canonical switch arbitration
+// by (request time, in-port), one-byte-per-byte-time pacing), and is
+// enforced empirically by the shard-determinism gate diffing --shards
+// 1/2/4 output.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "sim/action.h"
+#include "sim/simulator.h"
+#include "sim/types.h"
+
+namespace wormcast {
+
+/// Cross-executor mailbox. During a window each executor appends to its
+/// own outbox (no locks — outboxes are owned per source executor and the
+/// barrier separates writers from the merging thread); at the barrier the
+/// engine drains every outbox, sorts by (time, late, src, seq) and inserts
+/// into the target simulators.
+class ShardBus {
+ public:
+  explicit ShardBus(int n_execs);
+
+  /// Posts `action` to run on `target`'s executor at `time`. Must be
+  /// called from `src`'s executor thread during a window (or from the
+  /// main thread between windows). `time` must be at or after the end of
+  /// the current window — the lookahead invariant guarantees this for
+  /// any effect scheduled `delay >= W` ahead.
+  void post(int src, int target, Time time, bool late, InlineAction action);
+
+  /// A deferred single-threaded callback run once at the next barrier
+  /// (budget republication hooks). `fn(arg)` must touch only state owned
+  /// by the enqueuing component. Called from `exec`'s thread; deduping is
+  /// the caller's job.
+  struct BarrierTask {
+    void (*fn)(void*) = nullptr;
+    void* arg = nullptr;
+  };
+  void enqueue_barrier_task(int exec, BarrierTask task);
+
+  /// Barrier-time merge (single-threaded): drains all outboxes into the
+  /// target simulators in canonical order, then runs the barrier tasks.
+  void drain_into(const std::vector<Simulator*>& sims);
+
+ private:
+  struct Posted {
+    Time time = 0;
+    std::uint64_t seq = 0;  // per-source emission sequence
+    std::int32_t target = 0;
+    std::int32_t src = 0;
+    bool late = false;
+    InlineAction action;
+  };
+  /// Padded so two executors' outboxes never share a cache line.
+  struct alignas(64) Outbox {
+    std::vector<Posted> posts;
+    std::vector<BarrierTask> tasks;
+    std::uint64_t next_seq = 0;
+  };
+
+  std::vector<Outbox> outboxes_;
+  std::vector<Posted> merge_;  // scratch, reused across barriers
+};
+
+/// Runs E simulators in lockstep lookahead windows (see file comment).
+/// The caller's thread is executor 0; one persistent worker thread per
+/// additional executor, parked on a spin-then-yield barrier between
+/// windows (windows are microseconds apart, so parking on the OS would
+/// dominate the run).
+class ShardedEngine {
+ public:
+  /// `sims[0]` is the caller-thread executor. `lookahead` must be >= 1 and
+  /// no larger than the minimum cross-executor channel delay.
+  ShardedEngine(std::vector<Simulator*> sims, Time lookahead);
+  ShardedEngine(const ShardedEngine&) = delete;
+  ShardedEngine& operator=(const ShardedEngine&) = delete;
+  ~ShardedEngine();
+
+  [[nodiscard]] ShardBus& bus() { return bus_; }
+  [[nodiscard]] Time lookahead() const { return lookahead_; }
+  [[nodiscard]] int num_executors() const {
+    return static_cast<int>(sims_.size());
+  }
+
+  /// Runs windows until no executor holds an event at or before
+  /// `deadline`, then aligns every clock to `deadline`.
+  void run_until(Time deadline);
+
+  /// Runs windows until every queue (and the bus) is empty.
+  void run_to_quiescence();
+
+  [[nodiscard]] bool idle() const;
+
+  // Engine-wide observability (sums over executors; at one shard these
+  // reduce to the classic single-Simulator numbers).
+  [[nodiscard]] std::int64_t events_dispatched() const;
+  [[nodiscard]] std::int64_t progress() const;
+  [[nodiscard]] std::size_t event_queue_peak() const;
+  [[nodiscard]] std::size_t pending_events() const;
+  /// Lookahead windows executed so far (sync-overhead telemetry).
+  [[nodiscard]] std::int64_t windows_run() const { return windows_; }
+
+ private:
+  void worker_main(int idx);
+  /// Releases the workers into [.., end], runs executor 0's share inline,
+  /// then waits for every worker to finish the window.
+  void run_window(Time end);
+  /// Earliest pending event across executors; kTimeNever when all idle.
+  [[nodiscard]] Time next_event_time() const;
+
+  std::vector<Simulator*> sims_;
+  Time lookahead_;
+  ShardBus bus_;
+  std::int64_t windows_ = 0;
+
+  // Barrier state. `window_end_` is plain: it is written before the
+  // release-increment of `epoch_` and read after the acquire-load, so the
+  // epoch handshake publishes it (and, transitively, every queue mutation
+  // the merge performed).
+  Time window_end_ = 0;
+  std::atomic<std::uint64_t> epoch_{0};
+  std::atomic<int> done_{0};
+  std::atomic<bool> shutdown_{false};
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace wormcast

@@ -18,13 +18,13 @@ DeadlockWatchdog::DeadlockWatchdog(Simulator& sim, Time check_interval,
 }
 
 void DeadlockWatchdog::arm() {
-  last_progress_ = sim_.progress();
+  last_progress_ = read_progress();
   sim_.after(interval_, [this] { check(); });
 }
 
 void DeadlockWatchdog::check() {
   if (detected_) return;
-  const std::int64_t progress = sim_.progress();
+  const std::int64_t progress = read_progress();
   if (progress == last_progress_ && outstanding_() > 0) {
     detected_ = true;
     detection_time_ = sim_.now();

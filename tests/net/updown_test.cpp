@@ -237,5 +237,51 @@ TEST(UpDown, SetRootToHostThrows) {
   EXPECT_THROW(r.set_root(t.node_of_host(0)), std::logic_error);
 }
 
+TEST(UpDown, LevelOverrideMustLabelEveryNode) {
+  std::vector<int> levels;
+  const Topology t = make_clos(2, 3, 2, kDefaultLinkDelay, kDefaultLinkDelay,
+                               &levels);
+  UpDownOptions opts;
+  opts.level_override = {0, 1};  // too short: hosts must be labelled too
+  EXPECT_THROW(UpDownRouting(t, opts), std::logic_error);
+}
+
+TEST(UpDown, LevelOverridePicksLowestStageRoot) {
+  // On a Clos the degree heuristic would root at a leaf (leaf degree =
+  // spines + hosts > spine degree = leaves); stage labels must put the
+  // root in the spine stage instead.
+  std::vector<int> levels;
+  const Topology t = make_clos(2, 4, 3, kDefaultLinkDelay, kDefaultLinkDelay,
+                               &levels);
+  const UpDownRouting plain(t);
+  EXPECT_GE(plain.root(), 2) << "degree heuristic roots at a leaf";
+  UpDownOptions opts;
+  opts.level_override = levels;
+  const UpDownRouting staged(t, opts);
+  EXPECT_EQ(staged.root(), 0) << "lowest (stage, id) switch";
+}
+
+TEST(UpDown, LevelOverrideOrientsLinksByStage) {
+  std::vector<int> levels;
+  const Topology t = make_clos(3, 3, 1, kDefaultLinkDelay, kDefaultLinkDelay,
+                               &levels);
+  UpDownOptions opts;
+  opts.level_override = levels;
+  const UpDownRouting r(t, opts);
+  for (LinkId l = 0; l < t.num_links(); ++l) {
+    const NodeId up = r.up_end(l);
+    const NodeId down = t.peer(l, up);
+    // The up end always carries the smaller (stage, id): every spine-leaf
+    // link points up at the spine, every host link up at the leaf.
+    EXPECT_LT(std::make_pair(levels[up], up),
+              std::make_pair(levels[down], down))
+        << "link " << l;
+  }
+  // All host pairs remain routable through any spine orientation.
+  for (HostId s = 0; s < t.num_hosts(); ++s)
+    for (HostId d = 0; d < t.num_hosts(); ++d)
+      if (s != d) EXPECT_NO_THROW(r.route(s, d));
+}
+
 }  // namespace
 }  // namespace wormcast

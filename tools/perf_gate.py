@@ -87,7 +87,7 @@ def compare_cells(bench, where, base_cells, got_cells, failures):
         if name not in base_cells and classify(name) != "skip":
             failures.append(
                 (bench, where, name, None, got_cells[name],
-                 "new metric (regenerate baselines)"))
+                 "missing baseline key — run tools/rebaseline"))
 
 
 def row_cells(row):
@@ -104,14 +104,34 @@ def main():
     args = ap.parse_args()
     compare_cells.band = args.band
 
-    names = sorted(f for f in os.listdir(args.baselines)
-                   if f.startswith("BENCH_") and f.endswith(".json"))
+    def bench_jsons(directory):
+        try:
+            entries = os.listdir(directory)
+        except FileNotFoundError:
+            return None
+        return sorted(f for f in entries
+                      if f.startswith("BENCH_") and f.endswith(".json"))
+
+    names = bench_jsons(args.baselines)
+    if names is None:
+        print(f"perf_gate: baseline directory {args.baselines} does not "
+              f"exist — run tools/rebaseline to create it", file=sys.stderr)
+        return 1
     if not names:
-        print(f"perf_gate: no baselines in {args.baselines}", file=sys.stderr)
+        print(f"perf_gate: no baselines in {args.baselines} — run "
+              f"tools/rebaseline", file=sys.stderr)
         return 1
 
     failures = []
     checked = 0
+    # A result with no baseline is a new bench that was never baselined:
+    # fail loudly instead of silently skipping it (the gate would otherwise
+    # go green on a bench it never looked at).
+    for fname in bench_jsons(args.results) or []:
+        if fname not in names:
+            failures.append((fname[len("BENCH_"):-len(".json")], "-", "-",
+                             None, None,
+                             "missing baseline — run tools/rebaseline"))
     for fname in names:
         bench = fname[len("BENCH_"):-len(".json")]
         with open(os.path.join(args.baselines, fname)) as f:
@@ -150,8 +170,8 @@ def main():
         for r in table:
             print("  " + "  ".join(str(r[c]).ljust(cols[c]) for c in range(6)))
         print("perf_gate: a deterministic-metric delta means the simulation "
-              "changed; if intentional, regenerate bench/baselines "
-              "(see EXPERIMENTS.md).")
+              "changed; if intentional, run tools/rebaseline to regenerate "
+              "bench/baselines (see EXPERIMENTS.md).")
         return 1
     print(f"perf_gate: OK ({len(names)} benches, {checked} rows, "
           f"band ±{args.band} on wall ratios)")

@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""CI shard-determinism gate: diff BENCH_*.json across --shards counts.
+
+The sharded in-run engine (core/network.h, EngineConfig::shards) promises
+bit-identical *physics* at any executor count: every throughput, loss,
+byte, poll and check-verdict metric must match the --shards 1 run exactly.
+This gate runs after the same bench has been executed at several shard
+counts and diffs the JSON outputs.
+
+What is exempt (the shard-variant telemetry denylist — each entry is
+*expected* to move with the executor count, and why):
+
+  wall / per_sec / _ms      host wall-clock, never deterministic anywhere
+  speedup / overhead /      ratios of walls or event counts from the
+    *_ratio                   same run
+  events / events_dispatched  the engine dispatches extra window-barrier
+                              and budget-republication events per executor
+  event_queue_peak          the sum of per-executor queue peaks is not the
+                              peak of the single merged queue
+  pool_fresh / pool_reused  worm arenas are per-executor; recycling
+                              locality changes with the partition
+  trace_events* / trace_dropped*  the flight recorder is a per-executor
+                              ring; extra engine events shift wrap points
+  mem_*                     the memory audit counts per-executor queues,
+                              rings and arenas, which scale with shards
+
+Everything else — including the check_* verdict counts in meta — must be
+bit-identical, because a mismatch means the parallel engine changed what
+the simulation computed, not just how fast.
+
+Usage:
+  tools/shard_gate.py REF.json OTHER.json [OTHER2.json ...]
+
+REF is conventionally the --shards 1 output. Exit 0 = identical physics;
+1 = divergence (delta table on stdout).
+"""
+
+import json
+import re
+import sys
+
+SHARD_VARIANT_PAT = re.compile(
+    r"(wall|per_sec|ns_per_op|_ms$|speedup|overhead|_ratio$"
+    r"|^events$|events_dispatched|event_queue_peak"
+    r"|pool_fresh|pool_reused|trace_events|trace_dropped|^mem_)"
+)
+# Meta is mostly run-shape (jobs, walls); only the checker verdicts are
+# physics.
+META_PHYSICS_PAT = re.compile(r"^check_")
+
+
+def skip(name):
+    return SHARD_VARIANT_PAT.search(name) is not None
+
+
+def diff_cells(where, ref_cells, got_cells, failures):
+    for name in sorted(set(ref_cells) | set(got_cells)):
+        if skip(name):
+            continue
+        ref, got = ref_cells.get(name), got_cells.get(name)
+        if ref != got:
+            failures.append((where, name, ref, got))
+
+
+def main():
+    if len(sys.argv) < 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    paths = sys.argv[1:]
+    docs = []
+    for p in paths:
+        with open(p) as f:
+            docs.append(json.load(f))
+    ref = docs[0]
+
+    failures = []
+    for p, got in zip(paths[1:], docs[1:]):
+        if got.get("bench") != ref.get("bench"):
+            failures.append((p, "bench", ref.get("bench"), got.get("bench")))
+            continue
+        ref_rows = ref.get("rows", [])
+        got_rows = got.get("rows", [])
+        if len(ref_rows) != len(got_rows):
+            failures.append((p, "row count", len(ref_rows), len(got_rows)))
+            continue
+        for i, (rr, gr) in enumerate(zip(ref_rows, got_rows)):
+            diff_cells(f"{p} row {i}", rr, gr, failures)
+        diff_cells(f"{p} counters", ref.get("counters", {}),
+                   got.get("counters", {}), failures)
+        ref_meta = {k: v for k, v in ref.get("meta", {}).items()
+                    if META_PHYSICS_PAT.match(k)}
+        got_meta = {k: v for k, v in got.get("meta", {}).items()
+                    if META_PHYSICS_PAT.match(k)}
+        diff_cells(f"{p} meta", ref_meta, got_meta, failures)
+
+    if failures:
+        print(f"shard_gate: FAIL ({len(failures)} deltas vs {paths[0]})")
+        for where, name, ref_v, got_v in failures:
+            print(f"  {where}: {name}: {ref_v!r} != {got_v!r}")
+        print("shard_gate: the sharded engine changed the simulation's "
+              "physics — this is a determinism bug, not a perf delta.")
+        return 1
+    print(f"shard_gate: OK ({len(paths) - 1} run(s) bit-identical to "
+          f"{paths[0]} outside the telemetry denylist)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
